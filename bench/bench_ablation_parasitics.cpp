@@ -1,0 +1,54 @@
+// Ablation 2 (DESIGN.md): effect of the BL/WL/SL parasitics on the
+// termination accuracy — the paper models a 1 Kbyte array's line loading
+// (1 pF BL, distributed R); this bench removes it and compares.
+#include <iostream>
+
+#include "array/write_path.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace oxmlc;
+
+  bench::print_header(
+      "Ablation: parasitics", "terminated RESET with vs without line parasitics",
+      "paper 4.2 inserts 1 pF + distributed R 'to accurately evaluate the "
+      "benefits ... on large memory arrays'");
+
+  Table t({"IrefR (uA)", "R with parasitics (kOhm)", "R without (kOhm)", "shift",
+           "latency with (us)", "latency without (us)"});
+
+  for (double iref_ua : {10.0, 20.0, 32.0}) {
+    array::WritePathConfig loaded;
+    loaded.iref = iref_ua * 1e-6;
+    loaded.pulse_width = 8e-6;
+    loaded.t_stop = 5e-6;
+    array::WritePath loaded_path(loaded);
+    const auto with = loaded_path.run();
+
+    array::WritePathConfig bare = loaded;
+    bare.bl = array::LineParasitics::none();
+    bare.sl = array::LineParasitics::none();
+    bare.wl = array::LineParasitics::none();
+    bare.r_driver = 1.0;
+    array::WritePath bare_path(bare);
+    const auto without = bare_path.run();
+
+    t.add_row({format_scaled(iref_ua, 1.0, 0),
+               format_scaled(with.final_resistance, 1e3, 1),
+               format_scaled(without.final_resistance, 1e3, 1),
+               format_scaled(100.0 * (with.final_resistance / without.final_resistance -
+                                      1.0), 1.0, 1) + " %",
+               format_scaled(with.t_terminate, 1e-6, 2),
+               format_scaled(without.t_terminate, 1e-6, 2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n  reading: line resistance steals drive from the cell (deeper\n"
+               "  levels programmed slightly slower / shallower); the 1 pF BL\n"
+               "  capacitance does not disturb the decision because the BL node\n"
+               "  moves on microsecond scales. The termination remains accurate\n"
+               "  with full 1 Kbyte loading — the paper's array-level claim.\n";
+  bench::save_csv(t, "ablation_parasitics.csv");
+  return 0;
+}

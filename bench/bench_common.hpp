@@ -1,0 +1,53 @@
+// Shared plumbing for the benchmark harness binaries.
+//
+// Every bench regenerates one table or figure of the paper: it prints (a) a
+// header identifying the experiment, (b) the paper's reported values, (c) the
+// values measured on this build, (d) an ASCII rendering of the figure, and
+// writes (e) a machine-readable CSV under bench_results/ for replotting.
+// Absolute agreement is not the claim (our substrate is a from-scratch
+// simulator, not the authors' Eldo + foundry PDK); the *shape* — who wins, by
+// what factor, where trends bend — is asserted by the test suite and recorded
+// in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace oxmlc::bench {
+
+inline void print_header(const std::string& experiment_id, const std::string& title,
+                         const std::string& paper_summary) {
+  std::cout << "==============================================================\n"
+            << " " << experiment_id << ": " << title << "\n"
+            << "==============================================================\n"
+            << " paper reports: " << paper_summary << "\n"
+            << "--------------------------------------------------------------\n";
+}
+
+// Resolves the CSV output path, creating bench_results/ next to the cwd.
+inline std::string csv_path(const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  return "bench_results/" + name;
+}
+
+inline void save_csv(const Table& table, const std::string& name) {
+  const std::string path = csv_path(name);
+  table.write_csv_file(path);
+  std::cout << " [csv written: " << path << "]\n";
+}
+
+// Trial-count override: benches accept `--trials N` to trade depth for time.
+inline std::size_t trials_from_args(int argc, char** argv, std::size_t default_trials) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trials") {
+      return static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return default_trials;
+}
+
+}  // namespace oxmlc::bench

@@ -1,0 +1,104 @@
+// Fig. 5: compact-model I-V characteristics for SET, RST and FMG operations.
+//
+// The paper overlays the calibrated model (lines) on measurements (symbols);
+// our "measurement" role is played by the calibration anchor set documented
+// in DESIGN.md (paper-reported switching voltages, LRS/HRS levels, forming
+// voltage). This bench traces the three operations from the appropriate
+// initial state and reports the anchor comparison.
+#include <cmath>
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "oxram/fast_cell.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace oxmlc;
+  using oxram::Polarity;
+
+  bench::print_header(
+      "Fig. 5", "Model I-V for SET (blue), RST (red), FMG (green)",
+      "SET switches abruptly below ~1 V; RST current peaks then collapses; "
+      "FMG needs ~2.5-3.3 V from the virgin state; model tracks measurement");
+
+  const oxram::OxramParams params;
+  const oxram::StackConfig stack;
+  const double dwell = 100e-9;
+
+  auto trace = [&](oxram::FastCell& cell, Polarity polarity, double v_wl, double v_max,
+                   char marker, const std::string& label) {
+    Series series{{label, marker}, {}, {}};
+    for (double v = 0.02; v <= v_max + 1e-9; v += 0.02) {
+      const auto op =
+          solve_stack(cell.params(), cell.gap(), stack, polarity, v, v_wl);
+      const double v_cell_signed = polarity == Polarity::kReset ? -op.v_cell : op.v_cell;
+      cell.set_gap(oxram::advance_gap(cell.params(), v_cell_signed, cell.gap(),
+                                      cell.virgin(), dwell));
+      if (cell.virgin() && cell.gap() < cell.params().g_max * 0.98) {
+        // Mirror FastCell's forming-completion bookkeeping for this sweep.
+        cell = oxram::FastCell(cell.params(), stack, cell.gap(), false);
+      }
+      series.x.push_back(v);
+      series.y.push_back(std::max(op.current, 1e-12));
+    }
+    return series;
+  };
+
+  // FMG: virgin device, BL swept to 3.3 V.
+  oxram::FastCell virgin(params, stack, params.g_virgin, /*virgin=*/true);
+  const Series fmg = trace(virgin, Polarity::kSet, 2.0, 3.3, 'f', "FMG (virgin)");
+
+  // SET: from a reset state.
+  oxram::FastCell hrs_cell(params, stack, params.g_max, false);
+  const Series set = trace(hrs_cell, Polarity::kSet, 2.0, 1.4, 's', "SET (from HRS)");
+
+  // RST: from LRS.
+  oxram::FastCell lrs_cell = oxram::FastCell::formed_lrs(params, stack);
+  const Series rst = trace(lrs_cell, Polarity::kReset, 2.5, 1.4, 'r', "RST (from LRS)");
+
+  PlotOptions options;
+  options.title = "model I-V per operation (|I| log scale)";
+  options.x_label = "drive voltage (V)";
+  options.y_label = "|I cell| (A)";
+  options.y_scale = AxisScale::kLog10;
+  options.height = 24;
+  plot_series(std::cout, std::vector<Series>{set, rst, fmg}, options);
+
+  // Calibration anchors.
+  auto switching_voltage = [](const Series& s, double factor) {
+    // First bias where current jumps by `factor` vs the previous point.
+    for (std::size_t k = 1; k < s.y.size(); ++k) {
+      if (s.y[k] > factor * s.y[k - 1]) return s.x[k];
+    }
+    return 0.0;
+  };
+  const double v_set = switching_voltage(set, 5.0);
+  const double v_fmg = switching_voltage(fmg, 5.0);
+
+  Table t({"anchor", "target (paper)", "model", "pass"});
+  auto row = [&](const std::string& name, const std::string& target, double value,
+                 bool pass) {
+    t.add_row({name, target, format_scaled(value, 1.0, 3), pass ? "yes" : "NO"});
+  };
+  row("SET switching voltage (V)", "0.6 .. 1.2", v_set, v_set > 0.5 && v_set < 1.25);
+  row("FMG voltage (V)", "2.0 .. 3.3 (high-voltage step)", v_fmg,
+      v_fmg > 1.8 && v_fmg <= 3.3);
+  row("FMG exceeds SET voltage", "yes", v_fmg - v_set, v_fmg > v_set + 0.5);
+  const double r_lrs = oxram::resistance_at(params, 0.3, params.g_min);
+  row("post-SET RLRS (kOhm)", "~10 (Fig. 3)", r_lrs / 1e3, r_lrs > 5e3 && r_lrs < 25e3);
+  const double r_hrs = oxram::resistance_at(params, 0.3, params.g_max);
+  row("saturated RHRS (MOhm)", ">= 50 (Fig. 10: 382)", r_hrs / 1e6, r_hrs > 50e6);
+  t.print(std::cout);
+
+  Table csv({"operation", "v_drive", "i_cell"});
+  for (const Series* s : {&set, &rst, &fmg}) {
+    for (std::size_t k = 0; k < s->x.size(); ++k) {
+      csv.add_row({s->style.label, std::to_string(s->x[k]), std::to_string(s->y[k])});
+    }
+  }
+  bench::save_csv(csv, "fig5_calibration.csv");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Table 4: comparison with state-of-the-art MLC approaches. The paper's table
+// is a literature survey; here every row's *mechanism* is executed on the same
+// device model so the comparison becomes quantitative: achievable levels,
+// spread, energy and latency per scheme.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mlc/mc_study.hpp"
+#include "mlc/program.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct SchemeResult {
+  std::string name;
+  std::string mode;
+  std::size_t levels = 0;
+  double worst_rel_sigma = 0.0;  // max over levels of sigma(R)/median(R)
+  double mean_energy = 0.0;
+  double mean_latency = 0.0;
+  double mean_pulses = 1.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oxmlc;
+
+  const std::size_t trials = bench::trials_from_args(argc, argv, 40);
+  bench::print_header(
+      "Table 4", "State-of-the-art MLC mechanisms on one device model (" +
+                     std::to_string(trials) + " runs/level)",
+      "prior art: <= 8 states (VRST or IC-SET modes, mostly device level); "
+      "this work: 16 HRS states via IC-controlled RST at circuit level");
+
+  const mlc::QlcConfig base = mlc::QlcConfig::paper_default();
+  const mlc::CalibrationCurve curve = mlc::build_calibration_curve(
+      oxram::OxramParams{}, oxram::StackConfig{}, base, mlc::kPaperIrefMin,
+      mlc::kPaperIrefMax, 17);
+
+  std::vector<SchemeResult> results;
+  Rng rng(0x50714);
+
+  auto evaluate = [&](const std::string& name, const std::string& mode,
+                      std::size_t levels, auto&& program_fn) {
+    SchemeResult r;
+    r.name = name;
+    r.mode = mode;
+    r.levels = levels;
+    RunningStats energy, latency, pulses;
+    for (std::size_t level = 0; level < levels; ++level) {
+      RunningStats res;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        const auto device =
+            sample_device(oxram::OxramParams{}, oxram::OxramVariability{}, rng);
+        oxram::FastCell cell = oxram::FastCell::formed_lrs(device, oxram::StackConfig{});
+        const mlc::ProgramOutcome outcome = program_fn(cell, level, rng);
+        res.add(outcome.resistance);
+        energy.add(outcome.energy + outcome.set_energy);
+        latency.add(outcome.latency);
+        pulses.add(static_cast<double>(outcome.pulses));
+      }
+      r.worst_rel_sigma = std::max(r.worst_rel_sigma, res.stddev() / res.mean());
+    }
+    r.mean_energy = energy.mean();
+    r.mean_latency = latency.mean();
+    r.mean_pulses = pulses.mean();
+    results.push_back(r);
+  };
+
+  // --- This work: IC-controlled RST with write termination, 16 HRS levels ---
+  {
+    mlc::QlcConfig config = base;
+    config.allocation =
+        mlc::LevelAllocation::iso_delta_i(4, mlc::kPaperIrefMin, mlc::kPaperIrefMax, curve);
+    const mlc::QlcProgrammer programmer(config);
+    evaluate("this work [14]+", "IC RST + termination", 16,
+             [&](oxram::FastCell& cell, std::size_t level, Rng& r) {
+               return programmer.program(cell, level, r);
+             });
+  }
+  // --- VRST-amplitude mode (prior art [8,12,39,40]), 8 HRS levels ---
+  {
+    const auto alloc =
+        mlc::LevelAllocation::iso_delta_i(3, mlc::kPaperIrefMin, mlc::kPaperIrefMax, curve);
+    const mlc::VrstPulseBaseline baseline(alloc, oxram::OxramParams{},
+                                          oxram::StackConfig{}, base.reset_op,
+                                          base.set_op);
+    evaluate("VRST mode [12,39]", "RST amplitude, open loop", 8,
+             [&](oxram::FastCell& cell, std::size_t level, Rng& r) {
+               return baseline.program(cell, level, r);
+             });
+  }
+  // --- program-and-verify (multi-step, paper 2.1), 16 levels ---
+  {
+    const auto alloc =
+        mlc::LevelAllocation::iso_delta_i(4, mlc::kPaperIrefMin, mlc::kPaperIrefMax, curve);
+    const mlc::ProgramAndVerifyBaseline baseline(alloc, base.reset_op, base.set_op);
+    evaluate("program-and-verify [8]", "RST staircase + read-verify", 16,
+             [&](oxram::FastCell& cell, std::size_t level, Rng& r) {
+               return baseline.program(cell, level, r);
+             });
+  }
+  // --- IC-SET mode (prior art [11,13,17]), 4 LRS levels ---
+  {
+    const mlc::IcSetBaseline baseline(4, oxram::OxramParams{}, oxram::StackConfig{},
+                                      base.set_op);
+    evaluate("IC SET mode [13,17]", "SET compliance via WL", 4,
+             [&](oxram::FastCell& cell, std::size_t level, Rng& r) {
+               return baseline.program(cell, level, r);
+             });
+  }
+
+  Table t({"scheme", "MLC mode", "levels", "worst sigma/median", "avg energy",
+           "avg latency", "avg pulses", "verify-free"});
+  for (const auto& r : results) {
+    t.add_row({r.name, r.mode, std::to_string(r.levels),
+               format_scaled(100.0 * r.worst_rel_sigma, 1.0, 2) + " %",
+               format_si(r.mean_energy, "J", 3), format_si(r.mean_latency, "s", 3),
+               format_scaled(r.mean_pulses, 1.0, 1),
+               r.name.find("verify") == std::string::npos ? "yes" : "no"});
+  }
+  t.print(std::cout);
+
+  const auto& ours = results[0];
+  const auto& vrst = results[1];
+  const auto& pv = results[2];
+  std::cout << "\n  headline comparisons:"
+            << "\n   - levels: ours 16 vs best prior " << vrst.levels
+            << " (paper: first 16-state HRS scheme)"
+            << "\n   - spread: ours " << 100.0 * ours.worst_rel_sigma << " % vs VRST "
+            << 100.0 * vrst.worst_rel_sigma << " % (open loop cannot hold QLC margins)"
+            << "\n   - program-and-verify needs " << pv.mean_pulses
+            << " pulses/write vs our single terminated pulse\n";
+
+  Table csv({"scheme", "levels", "worst_rel_sigma", "mean_energy_j", "mean_latency_s",
+             "mean_pulses"});
+  for (const auto& r : results) {
+    csv.add_row({r.name, std::to_string(r.levels), std::to_string(r.worst_rel_sigma),
+                 std::to_string(r.mean_energy), std::to_string(r.mean_latency),
+                 std::to_string(r.mean_pulses)});
+  }
+  bench::save_csv(csv, "table4_sota.csv");
+  return 0;
+}

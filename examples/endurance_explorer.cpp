@@ -1,0 +1,75 @@
+// Endurance explorer: cycles one cell through random QLC levels and tracks
+// decode fidelity, energy and latency over the cycle count — exercising the
+// paper's §4.4.2 claim that the terminated write is "agnostic about
+// resistance distribution": the final state depends only on the cell current,
+// so repeated cycling does not degrade level placement in this model.
+#include <iostream>
+#include <vector>
+
+#include "mlc/program.hpp"
+#include "oxram/fast_cell.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oxmlc;
+
+  std::size_t cycles = 2000;
+  if (argc > 1) cycles = static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10));
+  std::cout << "cycling one QLC cell through " << cycles << " random writes\n\n";
+
+  const mlc::QlcConfig config = mlc::QlcConfig::paper_default(
+      mlc::build_calibration_curve(oxram::OxramParams{}, oxram::StackConfig{},
+                                   mlc::QlcConfig::paper_default(), mlc::kPaperIrefMin,
+                                   mlc::kPaperIrefMax, 17));
+  const mlc::QlcProgrammer programmer(config);
+
+  Rng rng(0xE77D);
+  const auto device = sample_device(oxram::OxramParams{}, oxram::OxramVariability{}, rng);
+  oxram::FastCell cell(device, oxram::StackConfig{}, device.g_virgin, /*virgin=*/true);
+  cell.apply_forming(oxram::FormingOperation{});
+
+  RunningStats energy, latency;
+  std::vector<RunningStats> per_level_r(16);
+  std::size_t decode_errors = 0;
+  std::size_t unterminated = 0;
+
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    const std::size_t level = rng.uniform_index(16);
+    const mlc::ProgramOutcome outcome = programmer.program(cell, level, rng);
+    energy.add(outcome.energy + outcome.set_energy);
+    latency.add(outcome.latency);
+    per_level_r[level].add(outcome.resistance);
+    unterminated += !outcome.terminated;
+    decode_errors += programmer.read_level(cell, rng) != level;
+  }
+
+  Table t({"metric", "value"});
+  t.add_row({"write cycles", std::to_string(cycles)});
+  t.add_row({"decode errors", std::to_string(decode_errors)});
+  t.add_row({"unterminated writes", std::to_string(unterminated)});
+  t.add_row({"mean energy / write", format_si(energy.mean(), "J", 3)});
+  t.add_row({"worst energy / write", format_si(energy.max(), "J", 3)});
+  t.add_row({"mean RST latency", format_si(latency.mean(), "s", 3)});
+  t.print(std::cout);
+
+  std::cout << "\nper-level placement stability over the whole run:\n";
+  Table stability({"level", "writes", "mean R (kOhm)", "sigma (kOhm)", "sigma/mean"});
+  for (std::size_t v = 0; v < 16; ++v) {
+    if (per_level_r[v].count() < 2) continue;
+    stability.add_row(
+        {config.allocation.pattern(v), std::to_string(per_level_r[v].count()),
+         format_scaled(per_level_r[v].mean(), 1e3, 2),
+         format_scaled(per_level_r[v].stddev(), 1e3, 3),
+         format_scaled(100.0 * per_level_r[v].stddev() / per_level_r[v].mean(), 1.0, 2) +
+             " %"});
+  }
+  stability.print(std::cout);
+
+  std::cout << "\nNote: the compact model carries no wear-out physics (the paper\n"
+               "cites a 1e9-cycle endurance for this technology [19] rather than\n"
+               "evaluating it); what this run demonstrates is placement stability\n"
+               "under C2C stochasticity across arbitrarily ordered level targets.\n";
+  return decode_errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+#include "array/sense_amp.hpp"
+
+#include "util/error.hpp"
+
+namespace oxmlc::array {
+
+std::size_t decode_band(double i_cell, std::span<const double> references,
+                        const SenseAmpModel& model, Rng& rng) {
+  std::size_t band = 0;
+  for (double reference : references) {
+    // Each comparator has its own offset draw, as in a flash-style bank.
+    const double offset = model.sample_offset(rng);
+    if (i_cell + offset > reference) ++band;
+  }
+  return band;
+}
+
+}  // namespace oxmlc::array

@@ -1,0 +1,37 @@
+// Read-path current comparison (Fig. 9): the sense amplifier compares the
+// bit-line current drawn at VREAD against a bank of reference currents and
+// reports which band the cell falls in. Offset is the input-referred error of
+// one comparator decision, sampled per read.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace oxmlc::array {
+
+struct SenseAmpModel {
+  // Input-referred offset sigma of one comparison (A). Representative of an
+  // offset-cancelled current-sampling amplifier (paper ref [38]).
+  double offset_sigma = 0.05e-6;
+  bool enabled = true;
+
+  static SenseAmpModel ideal() { return {0.0, false}; }
+
+  double sample_offset(Rng& rng) const {
+    return enabled ? rng.normal(0.0, offset_sigma) : 0.0;
+  }
+};
+
+// Decodes a read current against descending-band references.
+//
+// `references` must be sorted ascending (reference[x] separates band x from
+// band x+1 in *current*). Returns the band index in [0, references.size()]:
+// the number of references the (offset-corrupted) cell current exceeds.
+// Because HRS depth is inverse to current, callers map band -> level.
+std::size_t decode_band(double i_cell, std::span<const double> references,
+                        const SenseAmpModel& model, Rng& rng);
+
+}  // namespace oxmlc::array

@@ -1,0 +1,100 @@
+// Full-circuit (transistor-level) testbench of the terminated RESET write
+// path: Fig. 7b of the paper.
+//
+//   SL driver --- SL parasitics --- [access NMOS] --- BE
+//                                                      |
+//                                                   OxRAM cell
+//                                                      |
+//   termination (Fig. 7a) --- BL parasitics (1 pF) --- TE/BL
+//
+// The WL is driven through its own ladder. During the RST pulse the
+// termination circuit's inverter output falls when Icell reaches IrefR; a
+// transient event watches that node and, after the control-logic delay,
+// commands the SL driver's StoppablePulse to ramp down — reproducing the
+// "stop pulse to the SL driver" of paper §3.2.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "array/parasitics.hpp"
+#include "array/termination.hpp"
+#include "oxram/device.hpp"
+#include "oxram/fast_cell.hpp"
+#include "spice/transient.hpp"
+
+namespace oxmlc::array {
+
+struct WritePathConfig {
+  oxram::OxramParams cell;
+  double initial_gap = 0.25e-9;          // default: LRS (g_min)
+  dev::MosfetParams access = dev::tech130hv::nmos(0.8e-6, 0.5e-6);
+  TerminationSizing termination;
+  LineParasitics bl = LineParasitics::paper_bit_line();
+  LineParasitics sl = LineParasitics::paper_source_line();
+  LineParasitics wl = LineParasitics::paper_word_line();
+  double r_driver = 100.0;               // SL driver output resistance
+
+  double v_rst = 1.60;                   // SL amplitude during RST
+  double v_wl = 3.3;                     // WL during MLC RST
+  double pulse_rise = 10e-9;
+  double pulse_width = 3.5e-6;           // standard RST width; MLC runs longer
+  double pulse_fall = 10e-9;
+
+  std::optional<double> iref;            // termination reference; nullopt = standard pulse
+  double logic_delay = 10e-9;            // control logic between comparator and driver
+  double t_stop = 4.0e-6;                // simulation horizon
+  double c2c_rate_factor = 1.0;
+};
+
+struct WritePathResult {
+  spice::TransientResult transient;
+  bool terminated = false;
+  double t_terminate = 0.0;     // comparator flip time
+  double final_gap = 0.0;
+  double final_resistance = 0.0;  // cell R at 0.3 V read (model evaluation)
+  double energy_source = 0.0;     // SL-driver energy for the operation
+  // Probe indices into transient.probe_values:
+  // 0: Icell, 1: V(cell), 2: V(BL at termination input), 3: V(comparator out),
+  // 4: V(node A), 5: gap, 6: V(SL driver)
+  static constexpr std::size_t kProbeIcell = 0;
+  static constexpr std::size_t kProbeVcell = 1;
+  static constexpr std::size_t kProbeVbl = 2;
+  static constexpr std::size_t kProbeVout = 3;
+  static constexpr std::size_t kProbeVa = 4;
+  static constexpr std::size_t kProbeGap = 5;
+  static constexpr std::size_t kProbeVsl = 6;
+};
+
+// Assembled testbench; reusable across runs only by rebuilding (cheap).
+class WritePath {
+ public:
+  explicit WritePath(const WritePathConfig& config);
+
+  // Runs the RESET operation (terminated if config.iref is set).
+  WritePathResult run();
+
+  spice::Circuit& circuit() { return circuit_; }
+  oxram::OxramDevice& cell() { return *cell_; }
+  const TerminationCircuit& termination() { return termination_; }
+
+  // Applies per-trial mismatch to the termination circuit and the access
+  // transistor. Call before run() in Monte-Carlo loops.
+  void apply_mismatch(const MismatchModel& model, Rng& rng);
+
+ private:
+  WritePathConfig config_;
+  spice::Circuit circuit_;
+  oxram::OxramDevice* cell_ = nullptr;
+  dev::Mosfet* access_ = nullptr;
+  TerminationCircuit termination_;
+  std::shared_ptr<spice::StoppablePulse> sl_pulse_;
+  dev::VoltageSource* sl_driver_ = nullptr;
+  int node_bl_cell_ = spice::kGround;   // TE side, before the BL ladder
+  int node_bl_far_ = spice::kGround;    // termination input
+  int node_be_ = spice::kGround;
+  int node_sl_ = spice::kGround;
+  int node_wl_ = spice::kGround;
+};
+
+}  // namespace oxmlc::array

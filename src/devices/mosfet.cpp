@@ -1,0 +1,157 @@
+#include "devices/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace oxmlc::dev {
+
+MosOperatingPoint evaluate_level1(const MosfetParams& params, double vgs, double vds,
+                                  double vbs) {
+  MosOperatingPoint op;
+
+  // Body effect. vbs > 0 (forward bias) is clamped so the sqrt stays real;
+  // the clamp region is outside normal operation for the circuits here.
+  const double phi = params.phi;
+  const double sqrt_arg = std::max(phi - vbs, 1e-3);
+  op.vth = params.vt0 + params.gamma * (std::sqrt(sqrt_arg) - std::sqrt(phi));
+  // dVth/dVbs = -gamma / (2 sqrt(phi - vbs))
+  const double dvth_dvbs = -params.gamma / (2.0 * std::sqrt(sqrt_arg));
+
+  const double vov = vgs - op.vth;  // overdrive
+  const double beta = params.beta();
+
+  if (vov <= 0.0) {
+    op.region = MosOperatingPoint::Region::kCutoff;
+    return op;
+  }
+
+  const double clm = 1.0 + params.lambda * vds;
+  if (vds < vov) {
+    // Triode.
+    op.region = MosOperatingPoint::Region::kTriode;
+    op.ids = beta * (vov * vds - 0.5 * vds * vds) * clm;
+    op.gm = beta * vds * clm;
+    op.gds = beta * (vov - vds) * clm + beta * (vov * vds - 0.5 * vds * vds) * params.lambda;
+  } else {
+    // Saturation.
+    op.region = MosOperatingPoint::Region::kSaturation;
+    op.ids = 0.5 * beta * vov * vov * clm;
+    op.gm = beta * vov * clm;
+    op.gds = 0.5 * beta * vov * vov * params.lambda;
+  }
+  // gmbs = dIds/dVbs = gm * (-dVth/dVbs) ... note dIds/dVth = -gm.
+  op.gmbs = -op.gm * dvth_dvbs;
+  return op;
+}
+
+Mosfet::Mosfet(std::string name, int drain, int gate, int source, int bulk,
+               const MosfetParams& params)
+    : Device(std::move(name)), params_(params), nominal_(params) {
+  OXMLC_CHECK(params.w > 0.0 && params.l > 0.0, "mosfet " + name_ + ": W and L must be positive");
+  OXMLC_CHECK(params.kp > 0.0, "mosfet " + name_ + ": kp must be positive");
+  nodes_ = {drain, gate, source, bulk};
+}
+
+MosOperatingPoint Mosfet::evaluate_terminal(double vd, double vg, double vs, double vb,
+                                            bool& swapped) const {
+  // PMOS is evaluated as an NMOS with all voltages negated.
+  const double sign = params_.type == MosType::kPmos ? -1.0 : 1.0;
+  double d = sign * vd, g = sign * vg, s = sign * vs, b = sign * vb;
+  swapped = d < s;
+  if (swapped) std::swap(d, s);
+  return evaluate_level1(params_, g - s, d - s, b - s);
+}
+
+void Mosfet::stamp(const spice::StampContext& ctx, spice::Stamper& stamper) {
+  const int nd = nodes_[0], ng = nodes_[1], ns = nodes_[2], nb = nodes_[3];
+  const double vd = v(ctx, nd), vg = v(ctx, ng), vs = v(ctx, ns), vb = v(ctx, nb);
+
+  bool swapped = false;
+  const MosOperatingPoint op = evaluate_terminal(vd, vg, vs, vb, swapped);
+
+  const double sign = params_.type == MosType::kPmos ? -1.0 : 1.0;
+  // Effective terminal roles after source/drain swap (in the sign-normalized
+  // view). `eff_d`/`eff_s` are the *circuit* nodes playing drain/source.
+  const int eff_d = swapped ? ns : nd;
+  const int eff_s = swapped ? nd : ns;
+
+  // Current flows eff_d -> eff_s inside the normalized device; map back to
+  // circuit current with `sign`.
+  const double i = sign * op.ids;
+
+  stamper.residual(eff_d, i);
+  stamper.residual(eff_s, -i);
+
+  // In the normalized frame: dIds/dVgs=gm, dIds/dVds=gds, dIds/dVbs=gmbs where
+  // voltages are (g-s), (d-s), (b-s) of *effective* terminals (after sign).
+  // Chain rule through the sign flip: d(vx_norm)/d(vx_circuit) = sign, and the
+  // stamped current also carries `sign`, so sign^2 = 1 and the conductances
+  // stamp identically for NMOS and PMOS.
+  const double gm = op.gm, gds = op.gds, gmbs = op.gmbs;
+  stamper.jacobian(eff_d, ng, gm);
+  stamper.jacobian(eff_d, eff_d, gds);
+  stamper.jacobian(eff_d, nb, gmbs);
+  stamper.jacobian(eff_d, eff_s, -(gm + gds + gmbs));
+  stamper.jacobian(eff_s, ng, -gm);
+  stamper.jacobian(eff_s, eff_d, -gds);
+  stamper.jacobian(eff_s, nb, -gmbs);
+  stamper.jacobian(eff_s, eff_s, gm + gds + gmbs);
+}
+
+double Mosfet::drain_current(std::span<const double> x) const {
+  auto volt = [&](int n) { return n < 0 ? 0.0 : x[static_cast<std::size_t>(n)]; };
+  bool swapped = false;
+  const MosOperatingPoint op = evaluate_terminal(volt(nodes_[0]), volt(nodes_[1]),
+                                                 volt(nodes_[2]), volt(nodes_[3]), swapped);
+  const double sign = params_.type == MosType::kPmos ? -1.0 : 1.0;
+  return (swapped ? -1.0 : 1.0) * sign * op.ids;
+}
+
+void Mosfet::apply_mismatch(double delta_vth, double delta_beta_rel) {
+  params_ = nominal_;
+  params_.vt0 += delta_vth;
+  params_.kp *= std::max(0.1, 1.0 + delta_beta_rel);
+}
+
+namespace tech130hv {
+
+namespace {
+// Channel-length modulation scales inversely with L (Early voltage ~ L):
+// minimum-length devices see the full effect, the long-channel mirror
+// devices of the termination circuit are nearly ideal current sources.
+double lambda_for_length(double base_at_min_length, double l) {
+  return base_at_min_length * (0.5e-6 / l);
+}
+}  // namespace
+
+MosfetParams nmos(double w, double l) {
+  MosfetParams p;
+  p.type = MosType::kNmos;
+  p.w = w;
+  p.l = l;
+  p.kp = 170e-6;
+  p.vt0 = 0.58;
+  p.lambda = lambda_for_length(0.06, l);
+  p.gamma = 0.45;
+  p.phi = 0.80;
+  return p;
+}
+
+MosfetParams pmos(double w, double l) {
+  MosfetParams p;
+  p.type = MosType::kPmos;
+  p.w = w;
+  p.l = l;
+  p.kp = 60e-6;
+  p.vt0 = 0.60;
+  p.lambda = lambda_for_length(0.08, l);
+  p.gamma = 0.40;
+  p.phi = 0.80;
+  return p;
+}
+
+}  // namespace tech130hv
+
+}  // namespace oxmlc::dev

@@ -1,0 +1,88 @@
+// SPICE level-1 (Shichman–Hodges) MOSFET with channel-length modulation and
+// body effect, parameterized for the generic 0.13 um / 3.3 V high-voltage
+// process used by the paper's memory array (see oxmlc::dev::tech130hv).
+//
+// Level 1 is the right fidelity here: every analog function in the RESET
+// write-termination path (current mirrors M1–M6, the inverter comparator, the
+// 1T-1R access transistor, pass devices in the drivers) relies on square-law
+// saturation behaviour and on Vth/beta mismatch statistics, not on deep
+// submicron short-channel effects.
+#pragma once
+
+#include <string>
+
+#include "spice/device.hpp"
+
+namespace oxmlc::dev {
+
+enum class MosType { kNmos, kPmos };
+
+struct MosfetParams {
+  MosType type = MosType::kNmos;
+  double w = 1e-6;          // channel width (m)
+  double l = 0.5e-6;        // channel length (m)
+  double kp = 170e-6;       // transconductance parameter uCox (A/V^2)
+  double vt0 = 0.55;        // zero-bias threshold (V); magnitude for PMOS
+  double lambda = 0.04;     // channel-length modulation (1/V)
+  double gamma = 0.45;      // body-effect coefficient (sqrt(V))
+  double phi = 0.80;        // surface potential (V)
+
+  double beta() const { return kp * w / l; }
+};
+
+// Operating-point information returned by the model evaluation; used both for
+// stamping and in unit tests of region boundaries.
+struct MosOperatingPoint {
+  double ids = 0.0;   // drain->source current (for the normalized NMOS view)
+  double gm = 0.0;    // dIds/dVgs
+  double gds = 0.0;   // dIds/dVds
+  double gmbs = 0.0;  // dIds/dVbs
+  enum class Region { kCutoff, kTriode, kSaturation } region = Region::kCutoff;
+  double vth = 0.0;
+};
+
+// Evaluates the level-1 equations for a normalized NMOS (vds >= 0 assumed;
+// callers handle source/drain swap and PMOS mirroring).
+MosOperatingPoint evaluate_level1(const MosfetParams& params, double vgs, double vds,
+                                  double vbs);
+
+class Mosfet final : public spice::Device {
+ public:
+  // Terminal order: drain, gate, source, bulk.
+  Mosfet(std::string name, int drain, int gate, int source, int bulk,
+         const MosfetParams& params);
+
+  void stamp(const spice::StampContext& ctx, spice::Stamper& stamper) override;
+
+  // Drain current at iterate x (positive into the drain for NMOS conduction).
+  double drain_current(std::span<const double> x) const;
+
+  const MosfetParams& params() const { return params_; }
+
+  // Applies statistical mismatch: shifts Vth by delta_vth volts and scales
+  // beta by (1 + delta_beta_rel). Used by the Monte-Carlo sampler.
+  void apply_mismatch(double delta_vth, double delta_beta_rel);
+
+ private:
+  MosOperatingPoint evaluate_terminal(double vd, double vg, double vs, double vb,
+                                      bool& swapped) const;
+
+  MosfetParams params_;
+  MosfetParams nominal_;  // pre-mismatch copy, for reset between MC trials
+};
+
+// Generic 0.13 um high-voltage (3.3 V) CMOS parameter sets. Values are
+// representative textbook/PDK-class numbers, not any foundry's actual model.
+namespace tech130hv {
+MosfetParams nmos(double w, double l);
+MosfetParams pmos(double w, double l);
+inline constexpr double kVdd = 3.3;
+// Pelgrom *local-mismatch* coefficients (per um of sqrt(WL)). These model the
+// uncorrelated device-to-device component only; correlated (die-level) process
+// shift is common-mode across a mirror and therefore excluded, as in foundry
+// statistical kits' mismatch corners.
+inline constexpr double kAvt = 2e-9;       // V*m  (2 mV*um)
+inline constexpr double kAbeta = 0.005e-6; // relative*m (0.5 %*um)
+}  // namespace tech130hv
+
+}  // namespace oxmlc::dev

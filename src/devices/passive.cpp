@@ -1,0 +1,137 @@
+#include "devices/passive.hpp"
+
+#include "util/error.hpp"
+
+namespace oxmlc::dev {
+
+Resistor::Resistor(std::string name, int a, int b, double resistance)
+    : Device(std::move(name)), resistance_(resistance) {
+  OXMLC_CHECK(resistance > 0.0, "resistor " + name_ + ": resistance must be positive");
+  nodes_ = {a, b};
+}
+
+void Resistor::stamp(const StampContext& ctx, Stamper& stamper) {
+  const double g = 1.0 / resistance_;
+  stamper.conductance(nodes_[0], nodes_[1], g, v(ctx, nodes_[0]), v(ctx, nodes_[1]));
+}
+
+double Resistor::current(std::span<const double> x) const {
+  const double va = nodes_[0] < 0 ? 0.0 : x[static_cast<std::size_t>(nodes_[0])];
+  const double vb = nodes_[1] < 0 ? 0.0 : x[static_cast<std::size_t>(nodes_[1])];
+  return (va - vb) / resistance_;
+}
+
+void Resistor::set_resistance(double r) {
+  OXMLC_CHECK(r > 0.0, "resistor " + name_ + ": resistance must be positive");
+  resistance_ = r;
+}
+
+Capacitor::Capacitor(std::string name, int a, int b, double capacitance,
+                     double initial_voltage, bool use_initial_voltage)
+    : Device(std::move(name)), capacitance_(capacitance),
+      initial_voltage_(initial_voltage), use_initial_voltage_(use_initial_voltage) {
+  OXMLC_CHECK(capacitance > 0.0, "capacitor " + name_ + ": capacitance must be positive");
+  nodes_ = {a, b};
+}
+
+double Capacitor::companion_current(const StampContext& ctx, double v_now,
+                                    double& geq) const {
+  if (ctx.method == spice::IntegrationMethod::kTrapezoidal) {
+    geq = 2.0 * capacitance_ / ctx.dt;
+    return geq * (v_now - v_prev_) - i_prev_;
+  }
+  geq = capacitance_ / ctx.dt;
+  return geq * (v_now - v_prev_);
+}
+
+void Capacitor::stamp(const StampContext& ctx, Stamper& stamper) {
+  if (ctx.mode == spice::AnalysisMode::kDcOperatingPoint || ctx.dt <= 0.0) {
+    // Open circuit in DC; nothing to stamp (global gmin keeps nodes anchored).
+    return;
+  }
+  const double v_now = v(ctx, nodes_[0]) - v(ctx, nodes_[1]);
+  double geq = 0.0;
+  const double i = companion_current(ctx, v_now, geq);
+  stamper.residual(nodes_[0], i);
+  stamper.residual(nodes_[1], -i);
+  stamper.jacobian(nodes_[0], nodes_[0], geq);
+  stamper.jacobian(nodes_[0], nodes_[1], -geq);
+  stamper.jacobian(nodes_[1], nodes_[0], -geq);
+  stamper.jacobian(nodes_[1], nodes_[1], geq);
+}
+
+void Capacitor::stamp_reactive(const StampContext&, num::TripletMatrix& b) const {
+  const int p = nodes_[0], m = nodes_[1];
+  auto add = [&](int r, int c, double v) {
+    if (r >= 0 && c >= 0) b.add(static_cast<std::size_t>(r), static_cast<std::size_t>(c), v);
+  };
+  add(p, p, capacitance_);
+  add(p, m, -capacitance_);
+  add(m, p, -capacitance_);
+  add(m, m, capacitance_);
+}
+
+void Capacitor::init_state(const StampContext& ctx) {
+  v_prev_ = use_initial_voltage_ ? initial_voltage_
+                                 : v(ctx, nodes_[0]) - v(ctx, nodes_[1]);
+  i_prev_ = 0.0;
+}
+
+void Capacitor::commit_step(const StampContext& ctx) {
+  const double v_now = v(ctx, nodes_[0]) - v(ctx, nodes_[1]);
+  double geq = 0.0;
+  i_prev_ = companion_current(ctx, v_now, geq);
+  v_prev_ = v_now;
+}
+
+Inductor::Inductor(std::string name, int a, int b, double inductance)
+    : Device(std::move(name)), inductance_(inductance) {
+  OXMLC_CHECK(inductance > 0.0, "inductor " + name_ + ": inductance must be positive");
+  nodes_ = {a, b};
+}
+
+void Inductor::stamp(const StampContext& ctx, Stamper& stamper) {
+  const int a = nodes_[0], b = nodes_[1], br = branches_[0];
+  const double i_br = ctx.x[static_cast<std::size_t>(br)];
+  // KCL: branch current leaves a, enters b.
+  stamper.residual(a, i_br);
+  stamper.residual(b, -i_br);
+  stamper.jacobian(a, br, 1.0);
+  stamper.jacobian(b, br, -1.0);
+
+  const double va = v(ctx, a), vb = v(ctx, b);
+  if (ctx.mode == spice::AnalysisMode::kDcOperatingPoint || ctx.dt <= 0.0) {
+    // DC: short circuit, V = 0.
+    stamper.residual(br, va - vb);
+    stamper.jacobian(br, a, 1.0);
+    stamper.jacobian(br, b, -1.0);
+    return;
+  }
+  // BE: v = L (i - i_prev)/dt ; Trap: v = 2L/dt (i - i_prev) - v_prev.
+  const bool trap = ctx.method == spice::IntegrationMethod::kTrapezoidal;
+  const double req = (trap ? 2.0 : 1.0) * inductance_ / ctx.dt;
+  const double veq = trap ? (-req * i_prev_ - v_prev_) : (-req * i_prev_);
+  stamper.residual(br, va - vb - req * i_br - veq);
+  stamper.jacobian(br, a, 1.0);
+  stamper.jacobian(br, b, -1.0);
+  stamper.jacobian(br, br, -req);
+}
+
+void Inductor::stamp_reactive(const StampContext&, num::TripletMatrix& b) const {
+  // Branch equation in AC: Vp - Vm - j*w*L*i = 0 -> -L on the branch diagonal.
+  if (branches_.empty()) return;
+  const int br = branches_[0];
+  if (br >= 0) b.add(static_cast<std::size_t>(br), static_cast<std::size_t>(br), -inductance_);
+}
+
+void Inductor::init_state(const StampContext& ctx) {
+  i_prev_ = ctx.x[static_cast<std::size_t>(branches_[0])];
+  v_prev_ = 0.0;
+}
+
+void Inductor::commit_step(const StampContext& ctx) {
+  i_prev_ = ctx.x[static_cast<std::size_t>(branches_[0])];
+  v_prev_ = v(ctx, nodes_[0]) - v(ctx, nodes_[1]);
+}
+
+}  // namespace oxmlc::dev

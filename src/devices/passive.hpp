@@ -1,0 +1,71 @@
+// Linear passive devices: resistor, capacitor, inductor.
+#pragma once
+
+#include "spice/device.hpp"
+
+namespace oxmlc::dev {
+
+using spice::Device;
+using spice::StampContext;
+using spice::Stamper;
+
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, int a, int b, double resistance);
+
+  void stamp(const StampContext& ctx, Stamper& stamper) override;
+
+  // Current flowing a -> b at iterate x.
+  double current(std::span<const double> x) const;
+
+  double resistance() const { return resistance_; }
+  void set_resistance(double r);
+
+ private:
+  double resistance_;
+};
+
+// Capacitor with Backward-Euler / trapezoidal companion models. Open in DC.
+class Capacitor final : public Device {
+ public:
+  Capacitor(std::string name, int a, int b, double capacitance,
+            double initial_voltage = 0.0, bool use_initial_voltage = false);
+
+  void stamp(const StampContext& ctx, Stamper& stamper) override;
+  void init_state(const StampContext& ctx) override;
+  void commit_step(const StampContext& ctx) override;
+  void stamp_reactive(const StampContext& ctx, num::TripletMatrix& b) const override;
+
+  double capacitance() const { return capacitance_; }
+  double branch_current() const { return i_prev_; }
+
+ private:
+  double companion_current(const StampContext& ctx, double v_now, double& geq) const;
+
+  double capacitance_;
+  double initial_voltage_;
+  bool use_initial_voltage_;
+  double v_prev_ = 0.0;
+  double i_prev_ = 0.0;
+};
+
+// Inductor: short in DC; adds one branch-current unknown.
+class Inductor final : public Device {
+ public:
+  Inductor(std::string name, int a, int b, double inductance);
+
+  std::size_t branch_count() const override { return 1; }
+  void stamp(const StampContext& ctx, Stamper& stamper) override;
+  void init_state(const StampContext& ctx) override;
+  void commit_step(const StampContext& ctx) override;
+  void stamp_reactive(const StampContext& ctx, num::TripletMatrix& b) const override;
+
+  double inductance() const { return inductance_; }
+
+ private:
+  double inductance_;
+  double i_prev_ = 0.0;
+  double v_prev_ = 0.0;
+};
+
+}  // namespace oxmlc::dev

@@ -1,0 +1,14 @@
+#include "mc/runner.hpp"
+
+namespace oxmlc::mc {
+
+Rng trial_rng(std::uint64_t seed, std::size_t trial) {
+  // Mix seed and index through two rounds of the golden-ratio multiply so
+  // consecutive trials land in unrelated stream regions.
+  std::uint64_t mixed = seed ^ (0x9E3779B97F4A7C15ull * (trial + 1));
+  mixed ^= mixed >> 31;
+  mixed *= 0xBF58476D1CE4E5B9ull;
+  return Rng(mixed);
+}
+
+}  // namespace oxmlc::mc

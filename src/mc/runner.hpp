@@ -1,0 +1,59 @@
+// Deterministic Monte-Carlo runner.
+//
+// Each trial receives its own Rng derived from (seed, trial index) alone, so
+// results are bit-identical regardless of thread count or scheduling — the
+// property that makes the EXPERIMENTS.md numbers reproducible.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace oxmlc::mc {
+
+struct McOptions {
+  std::size_t trials = 500;  // the paper's MC depth (500 runs per level)
+  std::uint64_t seed = 0xA21Cull;
+  std::size_t threads = 0;  // 0 = hardware_concurrency
+};
+
+// Derives the deterministic Rng of one trial.
+Rng trial_rng(std::uint64_t seed, std::size_t trial);
+
+// Runs `trial(index, rng)` for every trial and collects the returned samples
+// in trial order. The trial function must be thread-compatible (no shared
+// mutable state); each invocation gets a private Rng.
+template <typename Sample>
+std::vector<Sample> run_trials(const McOptions& options,
+                               const std::function<Sample(std::size_t, Rng&)>& trial) {
+  std::vector<Sample> samples(options.trials);
+  std::size_t threads = options.threads ? options.threads
+                                        : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<std::size_t>(threads, options.trials ? options.trials : 1);
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < options.trials; ++i) {
+      Rng rng = trial_rng(options.seed, i);
+      samples[i] = trial(i, rng);
+    }
+    return samples;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::size_t i = t; i < options.trials; i += threads) {
+        Rng rng = trial_rng(options.seed, i);
+        samples[i] = trial(i, rng);
+      }
+    });
+  }
+  for (auto& worker : pool) worker.join();
+  return samples;
+}
+
+}  // namespace oxmlc::mc

@@ -1,0 +1,71 @@
+#include "mlc/controller.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace oxmlc::mlc {
+
+MemoryController::MemoryController(array::FastArray& array, const QlcProgrammer& programmer)
+    : array_(array), programmer_(programmer) {
+  const std::size_t bits = programmer_.config().allocation.bits;
+  OXMLC_CHECK(bits * array_.cols() <= 64,
+              "MemoryController: word payload exceeds 64 bits; use write_word_levels");
+}
+
+std::size_t MemoryController::bits_per_word() const {
+  return programmer_.config().allocation.bits * array_.cols();
+}
+
+void MemoryController::form() { array_.form_all(); }
+
+WordWriteStats MemoryController::write_word_levels(std::size_t row,
+                                                   std::span<const std::size_t> levels) {
+  OXMLC_CHECK(levels.size() == array_.cols(),
+              "write_word_levels: need one level per bit line");
+  WordWriteStats stats;
+  for (std::size_t col = 0; col < array_.cols(); ++col) {
+    const ProgramOutcome outcome =
+        programmer_.program(array_.at(row, col), levels[col], array_.rng_at(row, col));
+    stats.energy += outcome.energy + outcome.set_energy;
+    // Parallel RST through the shared SL: the word is done when the slowest
+    // bit line's termination fires.
+    stats.latency = std::max(stats.latency, outcome.latency);
+    stats.unterminated += outcome.terminated ? 0 : 1;
+  }
+  total_energy_ += stats.energy;
+  ++words_written_;
+  return stats;
+}
+
+std::vector<std::size_t> MemoryController::read_word_levels(std::size_t row) {
+  std::vector<std::size_t> levels;
+  levels.reserve(array_.cols());
+  for (std::size_t col = 0; col < array_.cols(); ++col) {
+    levels.push_back(
+        programmer_.read_level(array_.at(row, col), array_.rng_at(row, col)));
+  }
+  return levels;
+}
+
+WordWriteStats MemoryController::write_word(std::size_t row, std::uint64_t payload) {
+  const std::size_t bits = programmer_.config().allocation.bits;
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  std::vector<std::size_t> levels(array_.cols());
+  for (std::size_t col = 0; col < array_.cols(); ++col) {
+    levels[col] = static_cast<std::size_t>((payload >> (col * bits)) & mask);
+  }
+  return write_word_levels(row, levels);
+}
+
+std::uint64_t MemoryController::read_word(std::size_t row) {
+  const std::size_t bits = programmer_.config().allocation.bits;
+  const std::vector<std::size_t> levels = read_word_levels(row);
+  std::uint64_t payload = 0;
+  for (std::size_t col = 0; col < levels.size(); ++col) {
+    payload |= static_cast<std::uint64_t>(levels[col]) << (col * bits);
+  }
+  return payload;
+}
+
+}  // namespace oxmlc::mlc

@@ -1,0 +1,65 @@
+// Word-level memory controller: the "modified control logic" of Fig. 6.
+//
+// The paper's word programming flow (§4.2): an 8-bit word is addressed, every
+// cell of the word is first SET, then one RESET is applied in parallel
+// through the shared source line while each bit line's write-termination
+// circuit stops its own bit when its cell current reaches the IrefR selected
+// by the data bus ("multi-bit access is guaranteed as one RST write
+// termination is associated with a single bit-line"). The SL pulse is sized
+// for the slowest level; word latency is therefore the max per-bit
+// termination time and word energy the sum.
+//
+// On top of the word flow the controller packs/unpacks user data: with 4-bit
+// cells, one 8-cell word carries 32 bits of payload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/fast_array.hpp"
+#include "mlc/program.hpp"
+
+namespace oxmlc::mlc {
+
+struct WordWriteStats {
+  double energy = 0.0;          // summed over the word's cells (SET + RST)
+  double latency = 0.0;         // slowest bit's termination time (parallel RST)
+  std::size_t unterminated = 0; // bits whose RST timed out (should be 0)
+};
+
+class MemoryController {
+ public:
+  // `array` rows are words; every column is one bit line with its own
+  // termination circuit (the paper's 8x8 array: words_per_row = 1).
+  MemoryController(array::FastArray& array, const QlcProgrammer& programmer);
+
+  std::size_t word_count() const { return array_.rows(); }
+  std::size_t cells_per_word() const { return array_.cols(); }
+  std::size_t bits_per_word() const;
+
+  // One-time FORMING of the whole array.
+  void form();
+
+  // Writes one word of per-cell levels (size = cells_per_word).
+  WordWriteStats write_word_levels(std::size_t row, std::span<const std::size_t> levels);
+
+  // Reads the word back as per-cell levels.
+  std::vector<std::size_t> read_word_levels(std::size_t row);
+
+  // Packed-payload convenience: bits_per_word() payload bits, little-endian
+  // nibble order (cell 0 holds the least significant bits).
+  WordWriteStats write_word(std::size_t row, std::uint64_t payload);
+  std::uint64_t read_word(std::size_t row);
+
+  // Running totals across all operations (energy accounting for EXPERIMENTS).
+  double total_energy() const { return total_energy_; }
+  std::size_t words_written() const { return words_written_; }
+
+ private:
+  array::FastArray& array_;
+  const QlcProgrammer& programmer_;
+  double total_energy_ = 0.0;
+  std::size_t words_written_ = 0;
+};
+
+}  // namespace oxmlc::mlc

@@ -1,0 +1,48 @@
+#include "mlc/margins.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace oxmlc::mlc {
+
+MarginReport analyze_margins(const std::vector<LevelDistribution>& distributions) {
+  OXMLC_CHECK(distributions.size() >= 2, "analyze_margins: need at least two levels");
+  MarginReport report;
+  report.minimal_nominal_spacing = std::numeric_limits<double>::infinity();
+  report.worst_case_margin = std::numeric_limits<double>::infinity();
+
+  for (std::size_t k = 0; k + 1 < distributions.size(); ++k) {
+    const auto& lower = distributions[k];
+    const auto& upper = distributions[k + 1];
+    OXMLC_CHECK(!lower.resistance.empty() && !upper.resistance.empty(),
+                "analyze_margins: empty sample set");
+
+    AdjacentMargin margin;
+    margin.lower_level = lower.level.value;
+    margin.nominal_spacing = upper.level.r_nominal - lower.level.r_nominal;
+
+    const double max_lower =
+        *std::max_element(lower.resistance.begin(), lower.resistance.end());
+    const double min_upper =
+        *std::min_element(upper.resistance.begin(), upper.resistance.end());
+    margin.worst_case_margin = min_upper - max_lower;
+
+    RunningStats s_lower, s_upper;
+    for (double r : lower.resistance) s_lower.add(r);
+    for (double r : upper.resistance) s_upper.add(r);
+    margin.sigma_lower = s_lower.stddev();
+    margin.sigma_upper = s_upper.stddev();
+
+    report.minimal_nominal_spacing =
+        std::min(report.minimal_nominal_spacing, margin.nominal_spacing);
+    report.worst_case_margin =
+        std::min(report.worst_case_margin, margin.worst_case_margin);
+    if (margin.worst_case_margin < 0.0) report.any_overlap = true;
+    report.margins.push_back(margin);
+  }
+  return report;
+}
+
+}  // namespace oxmlc::mlc

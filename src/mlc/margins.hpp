@@ -1,0 +1,52 @@
+// Distribution and margin analysis of MLC levels (Figs. 11-12, Table 3).
+//
+// Definitions (matching the paper's usage):
+//  - "Minimal dR": smallest *nominal* spacing between adjacent levels, i.e.
+//    min_k ( R_nom[k+1] - R_nom[k] ). For the paper's 4-bit table this is the
+//    38.17k -> 40.65k step = 2.48 kOhm, reported as 2.5 kOhm.
+//  - "Worst case dR" (resistance margin): smallest gap between the *extreme
+//    Monte-Carlo samples* of adjacent levels, min_k ( min(R[k+1]) - max(R[k]) ).
+//    Negative values mean distribution overlap (decode failures possible).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mlc/levels.hpp"
+#include "util/stats.hpp"
+
+namespace oxmlc::mlc {
+
+struct LevelDistribution {
+  Level level;
+  std::vector<double> resistance;  // MC samples (Ohm)
+  std::vector<double> energy;      // MC samples (J)
+  std::vector<double> latency;     // MC samples (s)
+
+  BoxPlotSummary resistance_summary() const { return box_plot_summary(resistance); }
+  BoxPlotSummary energy_summary() const { return box_plot_summary(energy); }
+  BoxPlotSummary latency_summary() const { return box_plot_summary(latency); }
+};
+
+struct AdjacentMargin {
+  std::size_t lower_level = 0;  // value of the shallower level
+  double nominal_spacing = 0.0;    // R_nom[k+1] - R_nom[k]
+  double worst_case_margin = 0.0;  // min(samples[k+1]) - max(samples[k])
+  double sigma_lower = 0.0;        // stddev of the shallower level
+  double sigma_upper = 0.0;
+};
+
+struct MarginReport {
+  std::vector<AdjacentMargin> margins;
+  double minimal_nominal_spacing = 0.0;  // Table 3 "Minimal dR"
+  double worst_case_margin = 0.0;        // Table 3 "Worst case dR"
+  bool any_overlap = false;
+
+  // Probability-free decode check: fraction of sample pairs that would
+  // misorder (0 when distributions are disjoint).
+};
+
+// `distributions` must be ordered by level value (ascending resistance).
+MarginReport analyze_margins(const std::vector<LevelDistribution>& distributions);
+
+}  // namespace oxmlc::mlc

@@ -1,0 +1,65 @@
+#include "mlc/mc_study.hpp"
+
+namespace oxmlc::mlc {
+
+McStudyConfig paper_mc_study(std::size_t bits, std::size_t trials) {
+  McStudyConfig config;
+  config.nominal = oxram::OxramParams{};
+  config.stack = oxram::StackConfig{};
+  config.variability = oxram::OxramVariability{};
+
+  QlcConfig qlc = QlcConfig::paper_default();
+  const CalibrationCurve curve = build_calibration_curve(
+      config.nominal, config.stack, qlc, kPaperIrefMin, kPaperIrefMax, 25);
+  qlc.allocation = LevelAllocation::iso_delta_i(bits, kPaperIrefMin, kPaperIrefMax, curve);
+  config.qlc = qlc;
+  config.mc.trials = trials;
+  return config;
+}
+
+LevelDistribution run_single_level(const McStudyConfig& config, std::size_t level) {
+  const QlcProgrammer programmer(config.qlc);
+
+  struct Sample {
+    double resistance = 0.0;
+    double energy = 0.0;
+    double latency = 0.0;
+  };
+
+  mc::McOptions options = config.mc;
+  // Independent seed per level so adding levels never reshuffles existing ones.
+  options.seed = config.mc.seed ^ (0x51ED270B2D4C4Dull * (level + 1));
+
+  const std::function<Sample(std::size_t, Rng&)> trial = [&](std::size_t, Rng& rng) {
+    const oxram::OxramParams device =
+        sample_device(config.nominal, config.variability, rng);
+    oxram::FastCell cell = oxram::FastCell::formed_lrs(device, config.stack);
+    const ProgramOutcome outcome = programmer.program(cell, level, rng);
+    return Sample{outcome.resistance, outcome.energy, outcome.latency};
+  };
+
+  const std::vector<Sample> samples = mc::run_trials<Sample>(options, trial);
+
+  LevelDistribution dist;
+  dist.level = config.qlc.allocation.levels[level];
+  dist.resistance.reserve(samples.size());
+  dist.energy.reserve(samples.size());
+  dist.latency.reserve(samples.size());
+  for (const Sample& s : samples) {
+    dist.resistance.push_back(s.resistance);
+    dist.energy.push_back(s.energy);
+    dist.latency.push_back(s.latency);
+  }
+  return dist;
+}
+
+std::vector<LevelDistribution> run_level_study(const McStudyConfig& config) {
+  std::vector<LevelDistribution> distributions;
+  distributions.reserve(config.qlc.allocation.count());
+  for (std::size_t level = 0; level < config.qlc.allocation.count(); ++level) {
+    distributions.push_back(run_single_level(config, level));
+  }
+  return distributions;
+}
+
+}  // namespace oxmlc::mlc

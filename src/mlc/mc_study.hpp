@@ -1,0 +1,35 @@
+// Monte-Carlo level studies: the engine behind Figs. 11/12/13 and Table 3.
+//
+// One trial = one (D2D-sampled) device instance, SET, then one terminated
+// RESET with (C2C + termination-mismatch)-sampled conditions, then a read.
+// The paper runs 500 such trials per level.
+#pragma once
+
+#include "mc/runner.hpp"
+#include "mlc/margins.hpp"
+#include "mlc/program.hpp"
+
+namespace oxmlc::mlc {
+
+struct McStudyConfig {
+  QlcConfig qlc;                      // allocation + ops + mismatch models
+  oxram::OxramParams nominal;         // nominal device
+  oxram::StackConfig stack;
+  oxram::OxramVariability variability;  // D2D sampling (C2C comes from qlc)
+  mc::McOptions mc;                   // trials per level, seed
+};
+
+// Default configuration reproducing the paper's 4-bit study: builds the
+// nominal calibration curve, the ISO-dI allocation over 6-36 uA, and the
+// paper's operating pulses.
+McStudyConfig paper_mc_study(std::size_t bits = 4, std::size_t trials = 500);
+
+// Runs the study for every level of the allocation; distributions are ordered
+// by level value (ascending resistance). The per-level seed is derived from
+// (mc.seed, level) so levels are independent and reproducible.
+std::vector<LevelDistribution> run_level_study(const McStudyConfig& config);
+
+// Runs one level only (used by tests and partial benches).
+LevelDistribution run_single_level(const McStudyConfig& config, std::size_t level);
+
+}  // namespace oxmlc::mlc

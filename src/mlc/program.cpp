@@ -1,0 +1,276 @@
+#include "mlc/program.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace oxmlc::mlc {
+
+QlcConfig QlcConfig::paper_default(const CalibrationCurve& curve) {
+  QlcConfig config;
+  config.allocation = LevelAllocation::iso_delta_i(4, kPaperIrefMin, kPaperIrefMax, curve);
+  config.reset_op.pulse.width = 12e-6;  // cover the slowest 6 uA C2C tail (paper worst ~4 us)
+  return config;
+}
+
+CalibrationCurve build_calibration_curve(const oxram::OxramParams& params,
+                                         const oxram::StackConfig& stack,
+                                         const QlcConfig& config, double i_min, double i_max,
+                                         std::size_t points) {
+  OXMLC_CHECK(points >= 2, "calibration curve needs at least two points");
+  std::vector<double> irefs, resistances;
+  for (std::size_t k = 0; k < points; ++k) {
+    const double iref =
+        i_min + (i_max - i_min) * static_cast<double>(k) / static_cast<double>(points - 1);
+    oxram::FastCell cell = oxram::FastCell::formed_lrs(params, stack);
+    cell.apply_set(config.set_op);
+    oxram::ResetOperation reset = config.reset_op;
+    reset.iref = iref;
+    cell.apply_reset(reset);
+    irefs.push_back(iref);
+    resistances.push_back(cell.read(config.v_read, config.v_wl_read).r_cell);
+  }
+  return CalibrationCurve(std::move(irefs), std::move(resistances));
+}
+
+QlcProgrammer::QlcProgrammer(QlcConfig config) : config_(std::move(config)) {
+  OXMLC_CHECK(!config_.allocation.levels.empty(), "QlcProgrammer: empty allocation");
+  // Read references: geometric mean of the nominal read currents of adjacent
+  // levels (Fig. 9: "located in between the current provided by two
+  // consecutive memory states"). Each level's nominal current is measured
+  // through the full read stack — access device included — on a nominal cell
+  // placed at the level's resistance; a bare V/R estimate would sit one
+  // access-drop too high and bias every decode by a level.
+  const auto& levels = config_.allocation.levels;
+  std::vector<double> level_currents;
+  for (const Level& level : levels) {
+    OXMLC_CHECK(level.r_nominal > 0.0,
+                "QlcProgrammer: allocation lacks nominal resistances (no calibration curve)");
+    const double gap = gap_for_resistance(config_.nominal_cell, config_.v_read,
+                                          level.r_nominal);
+    const oxram::FastCell probe(config_.nominal_cell, config_.stack, gap);
+    level_currents.push_back(probe.read(config_.v_read, config_.v_wl_read).current);
+  }
+  for (std::size_t v = 0; v + 1 < levels.size(); ++v) {
+    read_references_.push_back(std::sqrt(level_currents[v] * level_currents[v + 1]));
+  }
+  std::sort(read_references_.begin(), read_references_.end());
+}
+
+ProgramOutcome QlcProgrammer::program(oxram::FastCell& cell, std::size_t level,
+                                      Rng& rng) const {
+  OXMLC_CHECK(level < config_.allocation.count(), "QlcProgrammer: level out of range");
+  ProgramOutcome outcome;
+  outcome.level = level;
+
+  // SET first (word programming step 1, §4.2).
+  cell.set_rate_factor(sample_cycle_rate_factor(config_.variability, rng));
+  const oxram::OperationResult set_result = cell.apply_set(config_.set_op);
+  outcome.set_energy = set_result.energy_source;
+
+  // Terminated RESET with the level's reference, corrupted by the termination
+  // circuit's sampled mismatch.
+  oxram::ResetOperation reset = config_.reset_op;
+  outcome.effective_iref =
+      config_.termination.sample_effective_iref(config_.allocation.levels[level].iref, rng);
+  reset.iref = outcome.effective_iref;
+  reset.termination_delay = config_.termination.comparator_delay;
+  cell.set_rate_factor(sample_cycle_rate_factor(config_.variability, rng));
+  const oxram::OperationResult reset_result = cell.apply_reset(reset);
+
+  outcome.terminated = reset_result.terminated;
+  outcome.latency = reset_result.t_terminate;
+  outcome.energy = reset_result.energy_source;
+  outcome.resistance = cell.read(config_.v_read, config_.v_wl_read).r_cell;
+  return outcome;
+}
+
+std::size_t QlcProgrammer::read_level(const oxram::FastCell& cell, Rng& rng) const {
+  const oxram::ReadResult read = cell.read(config_.v_read, config_.v_wl_read);
+  const std::size_t band =
+      array::decode_band(read.current, read_references_, config_.sense, rng);
+  // band = number of references the current exceeds; the shallowest level
+  // (value 0) carries the highest current and exceeds all of them.
+  return (config_.allocation.count() - 1) - band;
+}
+
+// ---------------------------------------------------------------------------
+// VRST-amplitude baseline
+// ---------------------------------------------------------------------------
+
+VrstPulseBaseline::VrstPulseBaseline(const LevelAllocation& allocation,
+                                     const oxram::OxramParams& nominal,
+                                     const oxram::StackConfig& stack,
+                                     oxram::ResetOperation reset_template,
+                                     oxram::SetOperation set_template)
+    : allocation_(allocation), reset_template_(std::move(reset_template)),
+      set_template_(std::move(set_template)) {
+  reset_template_.iref.reset();  // open loop: no termination
+  // The amplitude-mode prior art ([8,12,39,40]) applies short fixed-width
+  // pulses whose amplitude selects the level; a termination-scheme-length
+  // plateau would saturate every level at any amplitude.
+  reset_template_.pulse.width = 200e-9;
+  reset_template_.v_wl = 2.5;
+  // Calibrate one amplitude per level on the nominal cell (bisection; the
+  // post-pulse resistance increases monotonically with amplitude).
+  for (const Level& level : allocation_.levels) {
+    OXMLC_CHECK(level.r_nominal > 0.0, "VrstPulseBaseline: allocation lacks nominal R");
+    double lo = 0.5, hi = 2.2;
+    for (int iter = 0; iter < 24; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      oxram::FastCell cell = oxram::FastCell::formed_lrs(nominal, stack);
+      cell.apply_set(set_template_);
+      oxram::ResetOperation reset = reset_template_;
+      reset.pulse.amplitude = mid;
+      cell.apply_reset(reset);
+      if (cell.read().r_cell < level.r_nominal) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    amplitudes_.push_back(0.5 * (lo + hi));
+  }
+}
+
+ProgramOutcome VrstPulseBaseline::program(oxram::FastCell& cell, std::size_t level,
+                                          Rng& rng) const {
+  OXMLC_CHECK(level < amplitudes_.size(), "VrstPulseBaseline: level out of range");
+  ProgramOutcome outcome;
+  outcome.level = level;
+
+  // The baseline sees the same stochastic device as the termination scheme.
+  oxram::OxramVariability c2c;  // default C2C magnitudes
+  cell.set_rate_factor(sample_cycle_rate_factor(c2c, rng));
+  outcome.set_energy = cell.apply_set(set_template_).energy_source;
+
+  oxram::ResetOperation reset = reset_template_;
+  reset.pulse.amplitude = amplitudes_[level];
+  cell.set_rate_factor(sample_cycle_rate_factor(c2c, rng));
+  const oxram::OperationResult result = cell.apply_reset(reset);
+  outcome.latency = result.t_terminate;  // = full pulse width (no termination)
+  outcome.energy = result.energy_source;
+  outcome.resistance = cell.read().r_cell;
+  outcome.terminated = false;
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Program-and-verify baseline
+// ---------------------------------------------------------------------------
+
+ProgramAndVerifyBaseline::ProgramAndVerifyBaseline(const LevelAllocation& allocation,
+                                                   oxram::ResetOperation reset_template,
+                                                   oxram::SetOperation set_template,
+                                                   const ProgramVerifyConfig& config)
+    : allocation_(allocation), reset_template_(std::move(reset_template)),
+      set_template_(std::move(set_template)), config_(config) {
+  reset_template_.iref.reset();
+  reset_template_.pulse.width = config_.pulse_width;
+  // Gentle incremental slices: the staircase needs each pulse to move the
+  // state by a fraction of a level, not to blow through the whole window.
+  reset_template_.pulse.amplitude = 1.1;
+  reset_template_.v_wl = 2.5;
+}
+
+ProgramOutcome ProgramAndVerifyBaseline::program(oxram::FastCell& cell, std::size_t level,
+                                                 Rng& rng) const {
+  OXMLC_CHECK(level < allocation_.count(), "ProgramAndVerify: level out of range");
+  const double target = allocation_.levels[level].r_nominal;
+  OXMLC_CHECK(target > 0.0, "ProgramAndVerify: allocation lacks nominal R");
+  const double lo_band = target * (1.0 - config_.band_tolerance);
+  const double hi_band = target * (1.0 + config_.band_tolerance);
+
+  ProgramOutcome outcome;
+  outcome.level = level;
+  outcome.pulses = 0;
+
+  oxram::OxramVariability c2c;
+  cell.set_rate_factor(sample_cycle_rate_factor(c2c, rng));
+  outcome.set_energy = cell.apply_set(set_template_).energy_source;
+  outcome.latency += set_template_.pulse.rise + set_template_.pulse.width +
+                     set_template_.pulse.fall;
+
+  for (std::size_t pulse = 0; pulse < config_.max_pulses; ++pulse) {
+    const double r = cell.read().r_cell;
+    outcome.energy += config_.read_energy;
+    outcome.latency += 50e-9;  // verify-read cycle time
+    if (r >= lo_band && r <= hi_band) {
+      outcome.terminated = true;
+      break;
+    }
+    ++outcome.pulses;
+    cell.set_rate_factor(sample_cycle_rate_factor(c2c, rng));
+    if (r > hi_band) {
+      // Overshoot: recover through SET and restart the staircase.
+      const auto set_result = cell.apply_set(set_template_);
+      outcome.energy += set_result.energy_source;
+      outcome.latency += set_template_.pulse.rise + set_template_.pulse.width +
+                         set_template_.pulse.fall;
+    } else {
+      const auto slice = cell.apply_reset(reset_template_);
+      outcome.energy += slice.energy_source;
+      outcome.latency += config_.pulse_width + reset_template_.pulse.rise +
+                         reset_template_.pulse.fall;
+    }
+  }
+  outcome.resistance = cell.read().r_cell;
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// IC-SET baseline
+// ---------------------------------------------------------------------------
+
+IcSetBaseline::IcSetBaseline(std::size_t levels, const oxram::OxramParams& nominal,
+                             const oxram::StackConfig& stack,
+                             oxram::SetOperation set_template)
+    : set_template_(std::move(set_template)) {
+  OXMLC_CHECK(levels >= 2 && levels <= 8, "IcSetBaseline: levels must be in [2, 8]");
+  // Target LRS resistances geometrically spaced above the full-compliance LRS.
+  oxram::FastCell probe = oxram::FastCell::formed_lrs(nominal, stack);
+  probe.apply_set(set_template_);
+  const double r_floor = probe.read().r_cell;
+  for (std::size_t k = 0; k < levels; ++k) {
+    const double target = r_floor * std::pow(3.0, static_cast<double>(k) /
+                                                      static_cast<double>(levels - 1));
+    // Lower WL voltage -> lower compliance -> higher LRS resistance.
+    double lo = 0.75, hi = set_template_.v_wl;
+    for (int iter = 0; iter < 24; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      oxram::FastCell cell(nominal, stack, nominal.g_max, /*virgin=*/false);
+      oxram::SetOperation op = set_template_;
+      op.v_wl = mid;
+      cell.apply_set(op);
+      if (cell.read().r_cell > target) {
+        lo = mid;  // too resistive: raise compliance
+      } else {
+        hi = mid;
+      }
+    }
+    wl_voltages_.push_back(0.5 * (lo + hi));
+  }
+}
+
+ProgramOutcome IcSetBaseline::program(oxram::FastCell& cell, std::size_t level,
+                                      Rng& rng) const {
+  OXMLC_CHECK(level < wl_voltages_.size(), "IcSetBaseline: level out of range");
+  ProgramOutcome outcome;
+  outcome.level = level;
+  oxram::OxramVariability c2c;
+  cell.set_rate_factor(sample_cycle_rate_factor(c2c, rng));
+  // Start from a RESET state, then SET with the level's compliance.
+  oxram::ResetOperation reset;
+  const auto reset_result = cell.apply_reset(reset);
+  oxram::SetOperation op = set_template_;
+  op.v_wl = wl_voltages_[level];
+  cell.set_rate_factor(sample_cycle_rate_factor(c2c, rng));
+  const auto set_result = cell.apply_set(op);
+  outcome.energy = reset_result.energy_source + set_result.energy_source;
+  outcome.latency = reset_result.t_end + set_result.t_end;
+  outcome.resistance = cell.read().r_cell;
+  return outcome;
+}
+
+}  // namespace oxmlc::mlc

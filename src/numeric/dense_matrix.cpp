@@ -1,0 +1,83 @@
+#include "numeric/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace oxmlc::num {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void DenseMatrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void DenseMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  OXMLC_CHECK(x.size() == cols_ && y.size() == rows_, "DenseMatrix::multiply size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+}
+
+void DenseLu::factorize(const DenseMatrix& a, double pivot_tol) {
+  OXMLC_CHECK(a.rows() == a.cols(), "DenseLu: matrix must be square");
+  n_ = a.rows();
+  lu_ = a;
+  perm_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+  pivot_min_ = n_ ? std::fabs(lu_.at(0, 0)) : 0.0;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k at/below row k.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::fabs(lu_.at(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double mag = std::fabs(lu_.at(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < pivot_tol) {
+      throw ConvergenceError("DenseLu: numerically singular matrix (pivot " +
+                             std::to_string(pivot_mag) + " at column " + std::to_string(k) + ")");
+    }
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(lu_.at(k, c), lu_.at(pivot_row, c));
+      std::swap(perm_[k], perm_[pivot_row]);
+    }
+    pivot_min_ = std::min(pivot_min_, pivot_mag);
+
+    const double inv_pivot = 1.0 / lu_.at(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double factor = lu_.at(r, k) * inv_pivot;
+      if (factor == 0.0) continue;
+      lu_.at(r, k) = factor;
+      for (std::size_t c = k + 1; c < n_; ++c) {
+        lu_.at(r, c) -= factor * lu_.at(k, c);
+      }
+    }
+  }
+}
+
+void DenseLu::solve(std::span<const double> b, std::span<double> x) const {
+  OXMLC_CHECK(factorized(), "DenseLu::solve before factorize");
+  OXMLC_CHECK(b.size() == n_ && x.size() == n_, "DenseLu::solve size mismatch");
+  // Forward substitution with permutation: L y = P b.
+  for (std::size_t r = 0; r < n_; ++r) {
+    double s = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) s -= lu_.at(r, c) * x[c];
+    x[r] = s;
+  }
+  // Back substitution: U x = y.
+  for (std::size_t ri = n_; ri-- > 0;) {
+    double s = x[ri];
+    for (std::size_t c = ri + 1; c < n_; ++c) s -= lu_.at(ri, c) * x[c];
+    x[ri] = s / lu_.at(ri, ri);
+  }
+}
+
+}  // namespace oxmlc::num

@@ -1,0 +1,96 @@
+#include "numeric/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/vec.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace oxmlc::num {
+
+NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
+                          const NewtonOptions& options) {
+  const std::size_t n = system.dimension();
+  OXMLC_CHECK(x.size() == n, "solve_newton: initial guess has wrong dimension");
+
+  TripletMatrix jacobian(n);
+  std::vector<double> residual(n, 0.0);
+  std::vector<double> dx(n, 0.0);
+  std::vector<double> x_trial(n, 0.0);
+  std::vector<double> residual_trial(n, 0.0);
+  LinearSolver solver;
+
+  NewtonResult result;
+
+  jacobian.clear();
+  system.assemble(x, jacobian, residual);
+  double residual_norm = norm_inf(residual);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    if (residual_norm <= options.residual_tol && iter > 0 &&
+        result.final_update_norm <= 1.0) {
+      result.converged = true;
+      result.final_residual_norm = residual_norm;
+      return result;
+    }
+
+    solver.factorize(jacobian);
+    // Solve J dx = -F.
+    for (std::size_t i = 0; i < n; ++i) residual[i] = -residual[i];
+    solver.solve(residual, dx);
+
+    // Per-component step limiting (e.g. clamp node voltage moves).
+    for (std::size_t i = 0; i < n; ++i) {
+      const double limit = system.max_step(i);
+      if (limit > 0.0) dx[i] = std::clamp(dx[i], -limit, limit);
+    }
+
+    // Damped line search on the residual norm.
+    double scale = 1.0;
+    double best_scale = 1.0;
+    double best_norm = std::numeric_limits<double>::infinity();
+    for (std::size_t halving = 0; halving <= options.max_damping_halvings; ++halving) {
+      for (std::size_t i = 0; i < n; ++i) x_trial[i] = x[i] + scale * dx[i];
+      jacobian.clear();
+      system.assemble(x_trial, jacobian, residual_trial);
+      const double trial_norm = norm_inf(residual_trial);
+      if (trial_norm < best_norm) {
+        best_norm = trial_norm;
+        best_scale = scale;
+      }
+      // Accept as soon as the residual decreases (standard Armijo-ish rule).
+      if (trial_norm <= residual_norm || trial_norm <= options.residual_tol) break;
+      scale *= 0.5;
+    }
+
+    if (best_scale != scale) {
+      // Re-assemble at the best damping found (the loop may have overshot).
+      for (std::size_t i = 0; i < n; ++i) x_trial[i] = x[i] + best_scale * dx[i];
+      jacobian.clear();
+      system.assemble(x_trial, jacobian, residual_trial);
+      best_norm = norm_inf(residual_trial);
+    }
+
+    result.final_update_norm =
+        weighted_rms(dx, x, options.rel_tol, options.abs_tol) * best_scale;
+    std::copy(x_trial.begin(), x_trial.end(), x.begin());
+    residual.assign(residual_trial.begin(), residual_trial.end());
+    residual_norm = best_norm;
+
+    if (result.final_update_norm <= 1.0 && residual_norm <= options.residual_tol) {
+      result.converged = true;
+      result.final_residual_norm = residual_norm;
+      return result;
+    }
+  }
+
+  result.final_residual_norm = residual_norm;
+  OXMLC_DEBUG << "Newton failed to converge: residual=" << residual_norm
+              << " after " << result.iterations << " iterations";
+  return result;
+}
+
+}  // namespace oxmlc::num

@@ -1,0 +1,61 @@
+// Damped Newton–Raphson for nonlinear systems F(x) = 0 with sparse Jacobians.
+//
+// The MNA engine implements `NonlinearSystem` by stamping linearized device
+// models; Newton owns the iteration policy (damping, step limiting,
+// convergence norms) so that DC and transient analyses share one solver.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "numeric/sparse_lu.hpp"
+
+namespace oxmlc::num {
+
+// Client interface: given the current iterate x, fill the Jacobian J(x) and
+// the residual F(x). The matrix passed in is already sized and cleared.
+class NonlinearSystem {
+ public:
+  virtual ~NonlinearSystem() = default;
+
+  virtual std::size_t dimension() const = 0;
+
+  virtual void assemble(std::span<const double> x, TripletMatrix& jacobian,
+                        std::span<double> residual) = 0;
+
+  // Optional per-component clamp on the Newton update, applied before damping.
+  // Circuit use: limit node-voltage moves to ~1 V per iteration so exponential
+  // device models do not overflow. Default: no limiting.
+  virtual double max_step(std::size_t component) const {
+    (void)component;
+    return 0.0;  // 0 = unlimited
+  }
+};
+
+struct NewtonOptions {
+  std::size_t max_iterations = 100;
+  double rel_tol = 1e-6;
+  double abs_tol = 1e-9;       // on solution components (volts/amperes)
+  double residual_tol = 1e-9;  // on KCL residual (amperes)
+  // Damping: when the full step does not reduce the residual norm, halve up to
+  // this many times before accepting the best candidate anyway.
+  std::size_t max_damping_halvings = 4;
+};
+
+struct NewtonResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double final_residual_norm = 0.0;
+  double final_update_norm = 0.0;  // weighted RMS of last dx
+};
+
+// Iterates x_{k+1} = x_k + s * dx, J dx = -F, until both the weighted update
+// norm and the residual infinity-norm are under tolerance.
+// `x` carries the initial guess in and the solution out.
+NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
+                          const NewtonOptions& options = {});
+
+}  // namespace oxmlc::num

@@ -1,0 +1,236 @@
+#include "numeric/ode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace oxmlc::num {
+namespace {
+
+// Cash–Karp coefficients for the embedded RK4(5) pair.
+constexpr double kA2 = 0.2, kA3 = 0.3, kA4 = 0.6, kA5 = 1.0, kA6 = 0.875;
+constexpr double kB21 = 0.2;
+constexpr double kB31 = 3.0 / 40.0, kB32 = 9.0 / 40.0;
+constexpr double kB41 = 0.3, kB42 = -0.9, kB43 = 1.2;
+constexpr double kB51 = -11.0 / 54.0, kB52 = 2.5, kB53 = -70.0 / 27.0, kB54 = 35.0 / 27.0;
+constexpr double kB61 = 1631.0 / 55296.0, kB62 = 175.0 / 512.0, kB63 = 575.0 / 13824.0,
+                 kB64 = 44275.0 / 110592.0, kB65 = 253.0 / 4096.0;
+constexpr double kC1 = 37.0 / 378.0, kC3 = 250.0 / 621.0, kC4 = 125.0 / 594.0,
+                 kC6 = 512.0 / 1771.0;
+constexpr double kD1 = kC1 - 2825.0 / 27648.0, kD3 = kC3 - 18575.0 / 48384.0,
+                 kD4 = kC4 - 13525.0 / 55296.0, kD5 = -277.0 / 14336.0,
+                 kD6 = kC6 - 0.25;
+
+struct StepWorkspace {
+  std::vector<double> k1, k2, k3, k4, k5, k6, y_tmp, y_new, y_err;
+
+  explicit StepWorkspace(std::size_t n)
+      : k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), y_tmp(n), y_new(n), y_err(n) {}
+};
+
+// One Cash–Karp step from (t, y) with size h; fills ws.y_new and ws.y_err.
+void cash_karp_step(const OdeRhs& rhs, double t, std::span<const double> y, double h,
+                    StepWorkspace& ws) {
+  const std::size_t n = y.size();
+  rhs(t, y, ws.k1);
+  for (std::size_t i = 0; i < n; ++i) ws.y_tmp[i] = y[i] + h * kB21 * ws.k1[i];
+  rhs(t + kA2 * h, ws.y_tmp, ws.k2);
+  for (std::size_t i = 0; i < n; ++i)
+    ws.y_tmp[i] = y[i] + h * (kB31 * ws.k1[i] + kB32 * ws.k2[i]);
+  rhs(t + kA3 * h, ws.y_tmp, ws.k3);
+  for (std::size_t i = 0; i < n; ++i)
+    ws.y_tmp[i] = y[i] + h * (kB41 * ws.k1[i] + kB42 * ws.k2[i] + kB43 * ws.k3[i]);
+  rhs(t + kA4 * h, ws.y_tmp, ws.k4);
+  for (std::size_t i = 0; i < n; ++i)
+    ws.y_tmp[i] = y[i] + h * (kB51 * ws.k1[i] + kB52 * ws.k2[i] + kB53 * ws.k3[i] +
+                              kB54 * ws.k4[i]);
+  rhs(t + kA5 * h, ws.y_tmp, ws.k5);
+  for (std::size_t i = 0; i < n; ++i)
+    ws.y_tmp[i] = y[i] + h * (kB61 * ws.k1[i] + kB62 * ws.k2[i] + kB63 * ws.k3[i] +
+                              kB64 * ws.k4[i] + kB65 * ws.k5[i]);
+  rhs(t + kA6 * h, ws.y_tmp, ws.k6);
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.y_new[i] = y[i] + h * (kC1 * ws.k1[i] + kC3 * ws.k3[i] + kC4 * ws.k4[i] +
+                              kC6 * ws.k6[i]);
+    ws.y_err[i] = h * (kD1 * ws.k1[i] + kD3 * ws.k3[i] + kD4 * ws.k4[i] +
+                       kD5 * ws.k5[i] + kD6 * ws.k6[i]);
+  }
+}
+
+// Refines the event time within [t_lo, t_hi] by bisection on interpolated
+// states (linear interpolation is adequate: the bracket is one step wide and
+// shrinks geometrically).
+double refine_event(const OdeEvent& event, double t_lo, std::span<const double> y_lo,
+                    double t_hi, std::span<const double> y_hi,
+                    std::vector<double>& y_event) {
+  const std::size_t n = y_lo.size();
+  double lo = t_lo, hi = t_hi;
+  std::vector<double> y_mid(n);
+  for (int iter = 0; iter < 60 && (hi - lo) > 1e-15 + 1e-12 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double w = (mid - t_lo) / (t_hi - t_lo);
+    for (std::size_t i = 0; i < n; ++i) y_mid[i] = (1.0 - w) * y_lo[i] + w * y_hi[i];
+    if (event(mid, y_mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double w = (hi - t_lo) / (t_hi - t_lo);
+  y_event.resize(n);
+  for (std::size_t i = 0; i < n; ++i) y_event[i] = (1.0 - w) * y_lo[i] + w * y_hi[i];
+  return hi;
+}
+
+}  // namespace
+
+OdeResult integrate_rk45(const OdeRhs& rhs, double t0, double t_end,
+                         std::span<const double> y0, const OdeOptions& options,
+                         const OdeEvent& event) {
+  OXMLC_CHECK(t_end > t0, "integrate_rk45: t_end must exceed t0");
+  OXMLC_CHECK(!y0.empty(), "integrate_rk45: empty state");
+
+  const std::size_t n = y0.size();
+  StepWorkspace ws(n);
+  std::vector<double> y(y0.begin(), y0.end());
+  double t = t0;
+  double h = std::min(options.initial_step, t_end - t0);
+
+  OdeResult result;
+  double last_recorded = t0;
+  auto record = [&](double time, const std::vector<double>& state) {
+    if (!options.record_trajectory) return;
+    if (!result.times.empty() && options.record_interval > 0.0 &&
+        time - last_recorded < options.record_interval && time < t_end) {
+      return;
+    }
+    result.times.push_back(time);
+    result.states.push_back(state);
+    last_recorded = time;
+  };
+  record(t, y);
+
+  double g_prev = event ? event(t, y) : 1.0;
+  const double event_tol = options.event_time_tol >= 0.0
+                               ? options.event_time_tol
+                               : 1e-6 * (t_end - t0);
+
+  while (t < t_end) {
+    if (result.steps_taken + result.steps_rejected > options.max_steps) {
+      throw ConvergenceError("integrate_rk45: step budget exhausted");
+    }
+    h = std::min(h, t_end - t);
+    cash_karp_step(rhs, t, y, h, ws);
+
+    // Error norm against mixed tolerance.
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double scale =
+          options.abs_tol + options.rel_tol * std::max(std::fabs(y[i]), std::fabs(ws.y_new[i]));
+      err = std::max(err, std::fabs(ws.y_err[i]) / scale);
+    }
+
+    if (err > 1.0 && h > options.min_step) {
+      // Reject: shrink (standard 0.2 exponent safety rule).
+      ++result.steps_rejected;
+      h = std::max(options.min_step, 0.9 * h * std::pow(err, -0.25));
+      continue;
+    }
+
+    const double t_new = t + h;
+    ++result.steps_taken;
+
+    if (event) {
+      const double g_new = event(t_new, ws.y_new);
+      if (g_prev > 0.0 && g_new <= 0.0) {
+        // Localize by re-stepping: shrink the bracket geometrically so the
+        // final linear interpolation acts on a near-linear segment.
+        if (h > event_tol && h > 4.0 * options.min_step) {
+          ++result.steps_rejected;
+          h = std::max(options.min_step, 0.25 * h);
+          continue;
+        }
+        std::vector<double> y_event;
+        const double t_event = refine_event(event, t, y, t_new, ws.y_new, y_event);
+        record(t_event, y_event);
+        result.event_fired = true;
+        result.end_time = t_event;
+        result.end_state = std::move(y_event);
+        return result;
+      }
+      g_prev = g_new;
+    }
+
+    y.assign(ws.y_new.begin(), ws.y_new.end());
+    t = t_new;
+    record(t, y);
+
+    // Grow the step (capped) when error is small.
+    const double growth = err > 0.0 ? 0.9 * std::pow(err, -0.2) : 5.0;
+    h = std::min(options.max_step, h * std::clamp(growth, 0.2, 5.0));
+    h = std::max(h, options.min_step);
+  }
+
+  result.end_time = t;
+  result.end_state = std::move(y);
+  return result;
+}
+
+OdeResult integrate_rk4(const OdeRhs& rhs, double t0, double t_end,
+                        std::span<const double> y0, double step, const OdeEvent& event) {
+  OXMLC_CHECK(step > 0.0, "integrate_rk4: step must be positive");
+  const std::size_t n = y0.size();
+  std::vector<double> y(y0.begin(), y0.end());
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+
+  OdeResult result;
+  result.times.push_back(t0);
+  result.states.push_back(y);
+
+  double t = t0;
+  double g_prev = event ? event(t, y) : 1.0;
+  while (t < t_end) {
+    const double h = std::min(step, t_end - t);
+    rhs(t, y, k1);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k1[i];
+    rhs(t + 0.5 * h, tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k2[i];
+    rhs(t + 0.5 * h, tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h * k3[i];
+    rhs(t + h, tmp, k4);
+
+    std::vector<double> y_new(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y_new[i] = y[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    const double t_new = t + h;
+    ++result.steps_taken;
+
+    if (event) {
+      const double g_new = event(t_new, y_new);
+      if (g_prev > 0.0 && g_new <= 0.0) {
+        std::vector<double> y_event;
+        const double t_event = refine_event(event, t, y, t_new, y_new, y_event);
+        result.times.push_back(t_event);
+        result.states.push_back(y_event);
+        result.event_fired = true;
+        result.end_time = t_event;
+        result.end_state = std::move(y_event);
+        return result;
+      }
+      g_prev = g_new;
+    }
+
+    y = std::move(y_new);
+    t = t_new;
+    result.times.push_back(t);
+    result.states.push_back(y);
+  }
+
+  result.end_time = t;
+  result.end_state = std::move(y);
+  return result;
+}
+
+}  // namespace oxmlc::num

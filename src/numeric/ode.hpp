@@ -1,0 +1,68 @@
+// Explicit ODE integration with event detection, used by the fast (non-MNA)
+// OxRAM cell path: the filament-state equation is a stiff-ish scalar ODE whose
+// right-hand side is cheap, so adaptive RK with step rejection is ideal.
+//
+// Event detection matters here: the RESET write-termination fires when the
+// cell current crosses the reference current, and the reported latency/energy
+// depend on locating that crossing accurately (bisection refinement).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace oxmlc::num {
+
+// dy/dt = f(t, y). `dydt` is pre-sized to y.size().
+using OdeRhs = std::function<void(double t, std::span<const double> y, std::span<double> dydt)>;
+
+// Scalar event function g(t, y); integration stops when g crosses zero from
+// positive to negative (the convention used by the termination comparator:
+// g = Icell - IrefR).
+using OdeEvent = std::function<double(double t, std::span<const double> y)>;
+
+struct OdeOptions {
+  double initial_step = 1e-9;
+  double min_step = 1e-18;
+  // No cap by default: the error controller sizes steps. Circuit-scale
+  // callers set an explicit cap when they need dense event sampling.
+  double max_step = std::numeric_limits<double>::infinity();
+  double rel_tol = 1e-6;
+  double abs_tol = 1e-12;
+  // Event-time localization: when a crossing is detected inside a step wider
+  // than this, the step is retried smaller instead of interpolated. Negative
+  // means auto (1e-6 of the integration span).
+  double event_time_tol = -1.0;
+  // When set, the dense output trajectory is recorded every `record_interval`
+  // seconds (0 = record every accepted step).
+  double record_interval = 0.0;
+  bool record_trajectory = true;
+  std::size_t max_steps = 2'000'000;
+};
+
+struct OdeResult {
+  bool event_fired = false;
+  double end_time = 0.0;               // time reached (event time if fired)
+  std::vector<double> end_state;
+  // Recorded trajectory (empty when record_trajectory is false).
+  std::vector<double> times;
+  std::vector<std::vector<double>> states;
+  std::size_t steps_taken = 0;
+  std::size_t steps_rejected = 0;
+};
+
+// Integrates from (t0, y0) to t_end with the Cash–Karp RK45 embedded pair,
+// optionally stopping at the first +→− zero crossing of `event` (refined by
+// bisection to ~1e-3 * step accuracy in time).
+OdeResult integrate_rk45(const OdeRhs& rhs, double t0, double t_end,
+                         std::span<const double> y0, const OdeOptions& options = {},
+                         const OdeEvent& event = nullptr);
+
+// Fixed-step classical RK4; used in tests as an independent cross-check.
+OdeResult integrate_rk4(const OdeRhs& rhs, double t0, double t_end,
+                        std::span<const double> y0, double step,
+                        const OdeEvent& event = nullptr);
+
+}  // namespace oxmlc::num

@@ -1,0 +1,167 @@
+#include "numeric/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace oxmlc::num {
+
+void SparseLu::factorize(const CsrMatrix& a, double pivot_tol) {
+  n_ = a.size();
+  perm_.resize(n_);
+  lower_.assign(n_, {});
+  upper_.assign(n_, {});
+
+  // Working rows: sorted (col, value) vectors, mutated during elimination.
+  std::vector<std::vector<Entry>> rows(n_);
+  {
+    const auto offsets = a.row_offsets();
+    const auto cols = a.col_indices();
+    const auto vals = a.values();
+    for (std::size_t r = 0; r < n_; ++r) {
+      rows[r].reserve(offsets[r + 1] - offsets[r]);
+      for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+        rows[r].push_back({cols[k], vals[k]});
+      }
+    }
+  }
+
+  // row_order[i] = index into `rows` of the row currently in position i.
+  std::vector<std::size_t> row_order(n_);
+  for (std::size_t i = 0; i < n_; ++i) row_order[i] = i;
+
+  // Dense scatter buffer for row updates.
+  std::vector<double> work(n_, 0.0);
+  std::vector<bool> occupied(n_, false);
+  std::vector<std::size_t> touched;
+  touched.reserve(64);
+
+  auto leading_value = [&](std::size_t physical_row, std::size_t col) -> double {
+    const auto& row = rows[physical_row];
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), col,
+        [](const Entry& e, std::size_t c) { return e.col < c; });
+    return (it != row.end() && it->col == col) ? it->value : 0.0;
+  };
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting among remaining rows.
+    std::size_t best = k;
+    double best_mag = std::fabs(leading_value(row_order[k], k));
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double mag = std::fabs(leading_value(row_order[i], k));
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = i;
+      }
+    }
+    if (best_mag < pivot_tol) {
+      throw ConvergenceError("SparseLu: numerically singular matrix at column " +
+                             std::to_string(k));
+    }
+    std::swap(row_order[k], row_order[best]);
+    const std::size_t pivot_physical = row_order[k];
+    const double pivot = leading_value(pivot_physical, k);
+
+    // Move the pivot row's entries (col >= k) into U.
+    auto& prow = rows[pivot_physical];
+    for (const Entry& e : prow) {
+      if (e.col >= k) upper_[k].push_back(e);
+    }
+
+    // Eliminate column k from all remaining rows that contain it.
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const std::size_t r = row_order[i];
+      const double a_rk = leading_value(r, k);
+      if (a_rk == 0.0) continue;
+      const double factor = a_rk / pivot;
+      lower_[i].push_back({k, factor});
+
+      // Scatter row r (cols > k) into the work buffer...
+      touched.clear();
+      for (const Entry& e : rows[r]) {
+        if (e.col <= k) continue;
+        work[e.col] = e.value;
+        occupied[e.col] = true;
+        touched.push_back(e.col);
+      }
+      // ...subtract factor * pivot row...
+      for (const Entry& e : upper_[k]) {
+        if (e.col == k) continue;
+        if (!occupied[e.col]) {
+          occupied[e.col] = true;
+          work[e.col] = 0.0;
+          touched.push_back(e.col);
+        }
+        work[e.col] -= factor * e.value;
+      }
+      // ...and gather back sorted.
+      std::sort(touched.begin(), touched.end());
+      auto& row = rows[r];
+      row.clear();
+      for (std::size_t col : touched) {
+        if (work[col] != 0.0) row.push_back({col, work[col]});
+        occupied[col] = false;
+      }
+    }
+    rows[pivot_physical].clear();
+    rows[pivot_physical].shrink_to_fit();
+  }
+
+  perm_ = row_order;
+}
+
+void SparseLu::solve(std::span<const double> b, std::span<double> x) const {
+  OXMLC_CHECK(factorized(), "SparseLu::solve before factorize");
+  OXMLC_CHECK(b.size() == n_ && x.size() == n_, "SparseLu::solve size mismatch");
+
+  // Forward substitution: L y = P b (L has unit diagonal).
+  for (std::size_t r = 0; r < n_; ++r) {
+    double s = b[perm_[r]];
+    for (const Entry& e : lower_[r]) s -= e.value * x[e.col];
+    x[r] = s;
+  }
+  // Back substitution: U x = y.
+  for (std::size_t ri = n_; ri-- > 0;) {
+    double s = x[ri];
+    double diag = 0.0;
+    for (const Entry& e : upper_[ri]) {
+      if (e.col == ri) {
+        diag = e.value;
+      } else {
+        s -= e.value * x[e.col];
+      }
+    }
+    OXMLC_CHECK(diag != 0.0, "SparseLu: zero diagonal in back substitution");
+    x[ri] = s / diag;
+  }
+}
+
+std::size_t SparseLu::fill_nnz() const {
+  std::size_t nnz = 0;
+  for (const auto& row : lower_) nnz += row.size();
+  for (const auto& row : upper_) nnz += row.size();
+  return nnz;
+}
+
+void LinearSolver::factorize(const TripletMatrix& triplets) {
+  dense_active_ = triplets.size() <= kDenseCutoff;
+  if (dense_active_) {
+    DenseMatrix a(triplets.size(), triplets.size());
+    for (const Triplet& t : triplets.entries()) a.add(t.row, t.col, t.value);
+    dense_.factorize(a);
+  } else {
+    sparse_.factorize(CsrMatrix::from_triplets(triplets));
+  }
+}
+
+void LinearSolver::solve(std::span<const double> b, std::span<double> x) const {
+  if (dense_active_) {
+    dense_.solve(b, x);
+  } else {
+    sparse_.solve(b, x);
+  }
+}
+
+}  // namespace oxmlc::num

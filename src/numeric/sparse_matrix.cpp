@@ -1,0 +1,68 @@
+#include "numeric/sparse_matrix.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace oxmlc::num {
+
+void TripletMatrix::add(std::size_t row, std::size_t col, double value) {
+  OXMLC_CHECK(row < n_ && col < n_, "TripletMatrix::add index out of range");
+  if (value == 0.0) return;
+  entries_.push_back({row, col, value});
+}
+
+CsrMatrix CsrMatrix::from_triplets(const TripletMatrix& triplets) {
+  CsrMatrix m;
+  m.n_ = triplets.size();
+
+  // Sort a copy of the triplets by (row, col), then coalesce.
+  std::vector<Triplet> sorted(triplets.entries().begin(), triplets.entries().end());
+  std::sort(sorted.begin(), sorted.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  m.row_offsets_.assign(m.n_ + 1, 0);
+  m.col_indices_.reserve(sorted.size());
+  m.values_.reserve(sorted.size());
+
+  std::size_t i = 0;
+  for (std::size_t row = 0; row < m.n_; ++row) {
+    m.row_offsets_[row] = m.col_indices_.size();
+    while (i < sorted.size() && sorted[i].row == row) {
+      const std::size_t col = sorted[i].col;
+      double sum = 0.0;
+      while (i < sorted.size() && sorted[i].row == row && sorted[i].col == col) {
+        sum += sorted[i].value;
+        ++i;
+      }
+      m.col_indices_.push_back(col);
+      m.values_.push_back(sum);
+    }
+  }
+  m.row_offsets_[m.n_] = m.col_indices_.size();
+  return m;
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  OXMLC_CHECK(x.size() == n_ && y.size() == n_, "CsrMatrix::multiply size mismatch");
+  for (std::size_t r = 0; r < n_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      s += values_[k] * x[col_indices_[k]];
+    }
+    y[r] = s;
+  }
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix d(n_, n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      d.at(r, col_indices_[k]) = values_[k];
+    }
+  }
+  return d;
+}
+
+}  // namespace oxmlc::num

@@ -1,0 +1,70 @@
+// Sparse matrix assembly for MNA.
+//
+// Devices stamp (row, col, value) triplets into a `TripletMatrix`; the solver
+// coalesces duplicates into CSR once per Newton iteration. A key property for
+// circuit simulation: the sparsity *pattern* is fixed by the topology, so after
+// the first assembly the triplet buffer is reused and only values change.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "numeric/dense_matrix.hpp"
+
+namespace oxmlc::num {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class TripletMatrix {
+ public:
+  explicit TripletMatrix(std::size_t n = 0) : n_(n) {}
+
+  void resize(std::size_t n) { n_ = n; }
+  std::size_t size() const { return n_; }
+
+  void clear() { entries_.clear(); }
+  void reserve(std::size_t nnz) { entries_.reserve(nnz); }
+
+  // Accumulative stamp: duplicates are summed at compression time.
+  void add(std::size_t row, std::size_t col, double value);
+
+  std::span<const Triplet> entries() const { return entries_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+// Compressed sparse row with sorted, coalesced columns.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  // Builds structure + values from triplets (duplicates summed).
+  static CsrMatrix from_triplets(const TripletMatrix& triplets);
+
+  std::size_t size() const { return n_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  std::span<const std::size_t> row_offsets() const { return row_offsets_; }
+  std::span<const std::size_t> col_indices() const { return col_indices_; }
+  std::span<const double> values() const { return values_; }
+
+  // y = A x
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  DenseMatrix to_dense() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_offsets_;
+  std::vector<std::size_t> col_indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace oxmlc::num

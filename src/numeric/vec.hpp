@@ -1,0 +1,49 @@
+// Small vector helpers shared by the linear and nonlinear solvers.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace oxmlc::num {
+
+inline double dot(std::span<const double> a, std::span<const double> b) {
+  OXMLC_CHECK(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline double norm_inf(std::span<const double> a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+inline double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+// y += alpha * x
+inline void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  OXMLC_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+// Weighted RMS norm used for convergence checks: each component is scaled by
+// (rel_tol * |reference_i| + abs_tol). A value <= 1 means "converged".
+inline double weighted_rms(std::span<const double> delta, std::span<const double> reference,
+                           double rel_tol, double abs_tol) {
+  OXMLC_CHECK(delta.size() == reference.size(), "weighted_rms: size mismatch");
+  if (delta.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    const double w = rel_tol * std::fabs(reference[i]) + abs_tol;
+    const double r = delta[i] / w;
+    sum += r * r;
+  }
+  return std::sqrt(sum / static_cast<double>(delta.size()));
+}
+
+}  // namespace oxmlc::num

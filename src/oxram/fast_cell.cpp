@@ -1,0 +1,229 @@
+#include "oxram/fast_cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/waveform.hpp"
+#include "util/error.hpp"
+
+namespace oxmlc::oxram {
+namespace {
+
+// Drain current of the access transistor with Vds clamped at 0 (the stack
+// solver only probes the forward-conduction branch).
+double access_current(const dev::MosfetParams& params, double vgs, double vds) {
+  if (vds <= 0.0) return 0.0;
+  return dev::evaluate_level1(params, vgs, vds, 0.0).ids;
+}
+
+// Gate-source voltage of the diode-connected mirror input at current i
+// (level-1 saturation inverse; the mirror is wide, so Vov stays small).
+double mirror_drop(const dev::MosfetParams& params, double i) {
+  if (i <= 0.0) return params.vt0;
+  return params.vt0 + std::sqrt(2.0 * i / params.beta());
+}
+
+// Cell voltage magnitude carrying current i at gap g, saturated at v_cap.
+double cell_voltage_capped(const OxramParams& cell, double i, double g, double v_cap) {
+  if (i <= 0.0) return 0.0;
+  if (cell_current(cell, v_cap, g) <= i) return v_cap;
+  return voltage_for_current(cell, i, g, v_cap);
+}
+
+}  // namespace
+
+StackOperatingPoint solve_stack(const OxramParams& cell, double g, const StackConfig& stack,
+                                Polarity polarity, double v_drive, double v_wl) {
+  StackOperatingPoint op;
+  if (v_drive <= 0.0) return op;
+
+  const double v_cap = 5.0;
+  const bool through_mirror = stack.bl_through_mirror && polarity == Polarity::kReset;
+
+  // F(i) = Ids_access(i) - i, strictly decreasing in i.
+  auto residual = [&](double i) {
+    const double v_c = cell_voltage_capped(cell, i, g, v_cap);
+    const double v_sink = through_mirror ? mirror_drop(stack.mirror, i) : 0.0;
+    double vgs = 0.0, vds = 0.0;
+    if (polarity == Polarity::kReset) {
+      // SL (drive) - access - BE - cell - TE/BL - [mirror] - gnd.
+      const double n_be = v_sink + v_c;
+      vgs = v_wl - n_be;
+      vds = (v_drive - i * stack.r_series) - n_be;
+    } else {
+      // BL (drive) - TE - cell - BE - access - SL/gnd.
+      const double n_be = v_drive - i * stack.r_series - v_c;
+      vgs = v_wl;
+      vds = n_be;
+    }
+    return access_current(stack.access, vgs, vds) - i;
+  };
+
+  double lo = 0.0, hi = 10e-3;
+  if (residual(lo) <= 0.0) return op;  // stack cannot conduct
+  OXMLC_CHECK(residual(hi) < 0.0, "solve_stack: upper current bracket too small");
+  // Bisection on the monotone residual; 52 halvings of a 10 mA bracket leave
+  // sub-pA resolution, far below any current the termination compares.
+  for (int iter = 0; iter < 52; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (residual(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double i = 0.5 * (lo + hi);
+
+  op.current = i;
+  op.v_cell = cell_voltage_capped(cell, i, g, v_cap);
+  op.v_sink = through_mirror ? mirror_drop(stack.mirror, i) : 0.0;
+  if (polarity == Polarity::kReset) {
+    op.v_access = std::max(0.0, (v_drive - i * stack.r_series) - (op.v_sink + op.v_cell));
+  } else {
+    op.v_access = std::max(0.0, v_drive - i * stack.r_series - op.v_cell);
+  }
+  return op;
+}
+
+FastCell::FastCell(const OxramParams& params, const StackConfig& stack, double initial_gap,
+                   bool virgin)
+    : params_(params), stack_(stack), gap_(initial_gap), virgin_(virgin) {}
+
+FastCell FastCell::formed_lrs(const OxramParams& params, const StackConfig& stack) {
+  return FastCell(params, stack, params.g_min, /*virgin=*/false);
+}
+
+OperationResult FastCell::apply_reset(const ResetOperation& op) {
+  return run_pulse(op.pulse, Polarity::kReset, op.v_wl, /*through_mirror=*/op.iref.has_value(),
+                   op.iref, op.termination_delay, op.record_trajectory, op.dt_max);
+}
+
+OperationResult FastCell::apply_set(const SetOperation& op) {
+  return run_pulse(op.pulse, Polarity::kSet, op.v_wl, /*through_mirror=*/false, std::nullopt,
+                   0.0, op.record_trajectory, op.dt_max);
+}
+
+OperationResult FastCell::apply_forming(const FormingOperation& op) {
+  return run_pulse(op.pulse, Polarity::kSet, op.v_wl, /*through_mirror=*/false, std::nullopt,
+                   0.0, op.record_trajectory, op.dt_max);
+}
+
+ReadResult FastCell::read(double v_read, double v_wl) const {
+  ReadResult r;
+  const StackOperatingPoint op = solve_stack(params_, gap_, stack_, Polarity::kSet,
+                                             v_read, v_wl);
+  r.current = op.current;
+  if (op.current > 0.0) {
+    r.r_cell = op.v_cell / op.current;
+    r.r_apparent = v_read / op.current;
+  } else {
+    r.r_cell = r.r_apparent = params_.r_leak;
+  }
+  return r;
+}
+
+OperationResult FastCell::run_pulse(const PulseShape& pulse, Polarity polarity, double v_wl,
+                                    bool through_mirror, std::optional<double> iref,
+                                    double termination_delay, bool record, double dt_max) {
+  OperationResult result;
+  result.final_gap = gap_;
+
+  spice::PulseSpec spec;
+  spec.v1 = 0.0;
+  spec.v2 = pulse.amplitude;
+  spec.delay = 0.0;
+  spec.rise = pulse.rise;
+  spec.fall = pulse.fall;
+  spec.width = pulse.width;
+  const spice::PulseWaveform natural(spec);
+  const double natural_end = pulse.rise + pulse.width + pulse.fall;
+
+  StackConfig stack = stack_;
+  stack.bl_through_mirror = through_mirror;
+
+  // Once termination is commanded the drive ramps down from its value at the
+  // command instant.
+  double ramp_start = -1.0;
+  double ramp_from = 0.0;
+  auto drive_value = [&](double t) {
+    if (ramp_start < 0.0 || t <= ramp_start) return natural.value(t);
+    const double into = t - ramp_start;
+    if (into >= pulse.fall) return 0.0;
+    return ramp_from * (1.0 - into / pulse.fall);
+  };
+
+  double t = 0.0;
+  double t_end = natural_end;
+  double prev_i = 0.0, prev_p_src = 0.0, prev_p_cell = 0.0, prev_t = 0.0;
+  bool first_sample = true;
+
+  const double sign = polarity == Polarity::kReset ? -1.0 : 1.0;
+
+  while (t < t_end - 1e-15) {
+    const double v_d = drive_value(t);
+    const StackOperatingPoint sp = solve_stack(params_, gap_, stack, polarity, v_d, v_wl);
+    const double v_cell_signed = sign * sp.v_cell;
+
+    if (record) {
+      result.trajectory.push_back({t, sp.current, v_cell_signed, gap_});
+    }
+
+    // Trapezoidal energy accumulation.
+    if (!first_sample) {
+      const double dt_seg = t - prev_t;
+      result.energy_source += 0.5 * (prev_p_src + v_d * sp.current) * dt_seg;
+      result.energy_cell += 0.5 * (prev_p_cell + sp.v_cell * sp.current) * dt_seg;
+    }
+    prev_p_src = v_d * sp.current;
+    prev_p_cell = sp.v_cell * sp.current;
+
+    // Termination detection (plateau only, falling crossing or already-below).
+    if (iref && !result.terminated && t >= pulse.rise && ramp_start < 0.0) {
+      if (sp.current <= *iref) {
+        // Linear interpolation to the crossing inside the last step.
+        double t_cross = t;
+        if (!first_sample && prev_i > *iref) {
+          t_cross = prev_t + (t - prev_t) * (prev_i - *iref) / (prev_i - sp.current);
+        }
+        result.terminated = true;
+        result.t_terminate = t_cross;
+        ramp_start = t_cross + termination_delay;
+        ramp_from = drive_value(ramp_start);
+        t_end = std::min(t_end, ramp_start + pulse.fall);
+      }
+    }
+    prev_i = sp.current;
+    prev_t = t;
+    first_sample = false;
+
+    // --- choose the next step ---
+    // Near the termination crossing the step is refined so the gap moves only
+    // a sliver of g0 per step: the decision current maps exponentially to R,
+    // so crossing-localization error converts 1:1 into programmed-R error.
+    double gap_fraction = 0.1;
+    double dt_cap = dt_max;
+    if (iref && !result.terminated && sp.current > 0.0 && sp.current < 2.0 * *iref) {
+      gap_fraction = 0.004;
+      dt_cap = std::min(dt_cap, 5e-9);
+    }
+    double dt = std::min(dt_cap, recommended_dt(params_, v_cell_signed, gap_, virgin_,
+                                                rate_factor_, gap_fraction));
+    // Land on waveform corners so the plateau entry/exit are resolved.
+    for (double corner : {pulse.rise, pulse.rise + pulse.width, ramp_start,
+                          ramp_start >= 0.0 ? ramp_start + pulse.fall : -1.0, t_end}) {
+      if (corner > t + 1e-15 && corner < t + dt) dt = corner - t;
+    }
+    dt = std::max(dt, 1e-13);
+
+    gap_ = advance_gap(params_, v_cell_signed, gap_, virgin_, dt, rate_factor_);
+    if (virgin_ && gap_ < params_.g_max * 0.98) virgin_ = false;
+    t += dt;
+  }
+
+  result.t_end = t_end;
+  if (!result.terminated) result.t_terminate = natural_end;
+  result.final_gap = gap_;
+  return result;
+}
+
+}  // namespace oxmlc::oxram

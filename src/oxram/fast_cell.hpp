@@ -1,0 +1,150 @@
+// Fast (non-MNA) simulation of one 1T-1R cell inside its programming stack.
+//
+// The full-circuit SPICE path resolves every node of the write path; this
+// path exploits the structure of that circuit instead: at programming time
+// scales (>> RC of the lines) the stack is quasi-static, so the cell current
+// is the root of a single monotone scalar equation
+//
+//   F(I) = Ids_access(Vgs(I), Vds(I)) - I = 0
+//
+// where the bit-line sink (the diode-connected input mirror of the RESET
+// write-termination circuit, Fig. 7a) and the cell I(V, g) law are folded into
+// the node voltages. The gap ODE is then advanced with the solved cell
+// voltage. The two paths share the same device physics (oxram/model.hpp,
+// devices/mosfet.hpp) and are cross-validated by an integration test and the
+// behavioral-vs-transistor ablation bench.
+//
+// This is the engine behind the Monte-Carlo benches (Figs. 11-13, Table 3):
+// one terminated RESET costs microseconds of CPU instead of seconds.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "devices/mosfet.hpp"
+#include "oxram/model.hpp"
+
+namespace oxmlc::oxram {
+
+// Electrical environment of the cell during an operation.
+struct StackConfig {
+  // Access transistor (paper: W = 0.8 um, L = 0.5 um, Fig. 1b).
+  dev::MosfetParams access = dev::tech130hv::nmos(0.8e-6, 0.5e-6);
+  // Input mirror of the write-termination circuit (M1 of Fig. 7a); sized wide
+  // so its Vgs stays near Vth across the 6-36 uA termination range.
+  dev::MosfetParams mirror = dev::tech130hv::nmos(120e-6, 3e-6);
+  double r_series = 870.0;      // driver output + SL + BL line resistance (lumped;
+                                // must match the WritePathConfig ladder totals)
+  bool bl_through_mirror = false;  // true: BL sinks into the mirror (terminated RST)
+};
+
+enum class Polarity { kSet, kReset };
+
+struct StackOperatingPoint {
+  double current = 0.0;   // stack current (A), magnitude
+  double v_cell = 0.0;    // cell voltage magnitude
+  double v_access = 0.0;  // access transistor Vds
+  double v_sink = 0.0;    // BL sink (mirror) voltage
+};
+
+// Solves the quasi-static stack for a cell with gap `g`.
+// `v_drive`: driver voltage (SL for RESET, BL for SET); `v_wl`: word line.
+StackOperatingPoint solve_stack(const OxramParams& cell, double g, const StackConfig& stack,
+                                Polarity polarity, double v_drive, double v_wl);
+
+// Trapezoidal programming pulse.
+struct PulseShape {
+  double amplitude = 1.5;  // V
+  double rise = 10e-9;     // s
+  double width = 3.5e-6;   // s (plateau)
+  double fall = 10e-9;     // s
+};
+
+struct TrajectoryPoint {
+  double t = 0.0;
+  double current = 0.0;
+  double v_cell = 0.0;
+  double gap = 0.0;
+};
+
+struct OperationResult {
+  bool terminated = false;   // write termination fired (RESET only)
+  double t_terminate = 0.0;  // crossing time (= RST latency reported in Fig. 13b)
+  double t_end = 0.0;        // end of the operation (incl. commanded ramp-down)
+  double final_gap = 0.0;
+  double energy_source = 0.0;  // integral of V_drive * I  (what Fig. 13a reports)
+  double energy_cell = 0.0;    // integral of V_cell * I
+  std::vector<TrajectoryPoint> trajectory;  // recorded when requested
+};
+
+struct ResetOperation {
+  PulseShape pulse{1.60, 10e-9, 3.5e-6, 10e-9};  // standard RST width 3.5 us
+  double v_wl = 3.3;            // WL boosted during MLC RESET
+  // Termination: stop when I falls to iref. nullopt = standard (fixed) pulse.
+  std::optional<double> iref;
+  double termination_delay = 2e-9;   // comparator + control-logic + driver delay
+  bool record_trajectory = false;
+  double dt_max = 20e-9;
+};
+
+struct SetOperation {
+  PulseShape pulse{1.2, 5e-9, 100e-9, 5e-9};  // paper: SET pulse ~100 ns
+  double v_wl = 2.0;                           // Table 1
+  bool record_trajectory = false;
+  double dt_max = 2e-9;
+};
+
+struct FormingOperation {
+  PulseShape pulse{3.3, 50e-9, 1e-6, 50e-9};  // Table 1: FMG BL = 3.3 V
+  double v_wl = 2.0;
+  bool record_trajectory = false;
+  double dt_max = 10e-9;
+};
+
+struct ReadResult {
+  double current = 0.0;       // bit-line current the sense amp compares
+  double r_cell = 0.0;        // exact cell resistance V_cell / I
+  double r_apparent = 0.0;    // V_read / I (includes access-device drop)
+};
+
+// One 1T-1R cell with persistent state, programmable through its stack.
+class FastCell {
+ public:
+  FastCell(const OxramParams& params, const StackConfig& stack, double initial_gap,
+           bool virgin = false);
+
+  // Convenience: a formed cell in the SET (LRS) state.
+  static FastCell formed_lrs(const OxramParams& params, const StackConfig& stack);
+
+  OperationResult apply_reset(const ResetOperation& op);
+  OperationResult apply_set(const SetOperation& op);
+  OperationResult apply_forming(const FormingOperation& op);
+
+  // READ at `v_read` on the bit line with the read word-line bias.
+  ReadResult read(double v_read = 0.3, double v_wl = 2.5) const;
+
+  double gap() const { return gap_; }
+  void set_gap(double gap) { gap_ = gap; }
+  bool virgin() const { return virgin_; }
+
+  const OxramParams& params() const { return params_; }
+  OxramParams& mutable_params() { return params_; }
+  const StackConfig& stack() const { return stack_; }
+  StackConfig& mutable_stack() { return stack_; }
+
+  // Per-operation C2C rate multiplier (resampled by the caller per pulse).
+  void set_rate_factor(double f) { rate_factor_ = f; }
+
+ private:
+  OperationResult run_pulse(const PulseShape& pulse, Polarity polarity, double v_wl,
+                            bool through_mirror, std::optional<double> iref,
+                            double termination_delay, bool record, double dt_max);
+
+  OxramParams params_;
+  StackConfig stack_;
+  double gap_;
+  bool virgin_;
+  double rate_factor_ = 1.0;
+};
+
+}  // namespace oxmlc::oxram

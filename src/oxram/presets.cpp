@@ -1,0 +1,59 @@
+#include "oxram/presets.hpp"
+
+namespace oxmlc::oxram {
+
+OxramParams pcm_like_params() {
+  OxramParams p;
+  // Conduction: lower ON resistance (crystalline GST), steeper thickness
+  // dependence, wider window.
+  p.i0 = 150e-6;
+  p.g0 = 0.40e-9;
+  p.v0 = 0.30;
+  p.r_leak = 20e9;
+  p.g_min = 0.30e-9;   // fully crystallized residual amorphous sliver
+  p.g_max = 4.0e-9;    // full amorphous cap
+  p.g_virgin = 4.0e-9; // as-deposited amorphous (PCM "forming" = first SET)
+
+  // Dynamics: amorphization (gap growth) is the controlled direction; slower
+  // and less field-sensitive than HfO2 dissolution, so the termination has an
+  // even easier negative-feedback plant to stop.
+  p.k0 = 800.0;
+  p.ea_ox = 0.530;
+  p.ea_red = 0.820;
+  p.dea_form = 0.0;  // no electroforming step in PCM
+  p.alpha = 0.30;
+  p.xi = 0.70;
+  p.g_ref = 0.45e-9;
+
+  // PCM switching is strongly thermally driven.
+  p.r_th = 6e5;
+  p.t_max_rise = 600.0;
+  return p;
+}
+
+StackConfig pcm_like_stack() {
+  StackConfig stack;
+  // Higher programming currents: wider access device and stiffer lines.
+  stack.access = dev::tech130hv::nmos(1.6e-6, 0.5e-6);
+  stack.mirror = dev::tech130hv::nmos(160e-6, 3e-6);
+  stack.r_series = 600.0;
+  return stack;
+}
+
+ResetOperation pcm_like_reset() {
+  ResetOperation op;
+  op.pulse.amplitude = 1.9;  // melt-quench needs more drive
+  op.pulse.width = 12e-6;
+  op.v_wl = 3.3;
+  return op;
+}
+
+SetOperation pcm_like_set() {
+  SetOperation op;
+  op.pulse.amplitude = 1.4;
+  op.pulse.width = 300e-9;  // crystallization is slower than OxRAM SET
+  op.v_wl = 2.5;
+  return op;
+}
+
+}  // namespace oxmlc::oxram

@@ -1,0 +1,42 @@
+// Device presets beyond the baseline HfO2 OxRAM.
+//
+// The paper's conclusion names its own future work: "Extensions of the
+// current work will address the application of the presented MLC design
+// scheme to any resistive RAM technology providing an analog programming
+// mechanism, such as phase-change memory (PCM)." The write-termination scheme
+// only needs (a) a monotone state -> current mapping and (b) a programming
+// polarity with gradual, self-limiting dynamics — both of which the gap-state
+// model expresses for more than one technology.
+//
+// `pcm_like_params()` re-parameterizes the model for a PCM-flavoured device:
+// the "gap" plays the amorphous-cap thickness, the crystalline ON state is a
+// few kOhm, the window is wider and the programming dynamics slower — so the
+// same QlcProgrammer/termination machinery runs unchanged on it
+// (bench_ext_pcm demonstrates multi-level operation end to end).
+#pragma once
+
+#include "oxram/fast_cell.hpp"
+#include "oxram/params.hpp"
+
+namespace oxmlc::oxram {
+
+// PCM-flavoured parameter set (melt-quench amorphization as the "oxidation"
+// direction, crystallization as the "reduction" direction).
+OxramParams pcm_like_params();
+
+// Stack tuned for the PCM window: higher programming currents, so the drive
+// and the mirror operating range shift up.
+StackConfig pcm_like_stack();
+
+// The RESET (amorphize) operation template for the PCM preset.
+ResetOperation pcm_like_reset();
+
+// The SET (crystallize) operation template for the PCM preset.
+SetOperation pcm_like_set();
+
+// Termination-current window for MLC on the PCM preset (analog of the
+// paper's 6-36 uA OxRAM window).
+inline constexpr double kPcmIrefMin = 12e-6;
+inline constexpr double kPcmIrefMax = 60e-6;
+
+}  // namespace oxmlc::oxram

@@ -1,0 +1,124 @@
+#include "spice/dc.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace oxmlc::spice {
+namespace {
+
+num::NewtonResult attempt(MnaSystem& system, std::vector<double>& x,
+                          const num::NewtonOptions& newton) {
+  return num::solve_newton(system, x, newton);
+}
+
+}  // namespace
+
+DcResult solve_dc(MnaSystem& system, const DcOptions& options,
+                  const std::vector<double>* initial_guess) {
+  const std::size_t n = system.dimension();
+  DcResult result;
+  result.solution.assign(n, 0.0);
+  if (initial_guess) {
+    OXMLC_CHECK(initial_guess->size() == n, "solve_dc: bad initial guess size");
+    result.solution = *initial_guess;
+  }
+
+  StampContext& ctx = system.context();
+  ctx.mode = AnalysisMode::kDcOperatingPoint;
+  ctx.time = 0.0;
+  ctx.dt = 0.0;
+  ctx.source_scale = 1.0;
+  ctx.gmin = options.gmin;
+
+  // Strategy 1: direct solve.
+  auto newton_result = attempt(system, result.solution, options.newton);
+  result.newton_iterations += newton_result.iterations;
+  if (newton_result.converged) {
+    result.converged = true;
+    result.strategy = "direct";
+    return result;
+  }
+
+  // Strategy 2: gmin stepping — solve a heavily shunted (easy) circuit first,
+  // then tighten the shunt geometrically, reusing each solution as the seed.
+  {
+    std::vector<double> x(n, 0.0);
+    bool ladder_ok = true;
+    for (double gmin = options.gmin_start; gmin >= options.gmin * 0.999;
+         gmin /= options.gmin_ratio) {
+      ctx.gmin = gmin;
+      newton_result = attempt(system, x, options.newton);
+      result.newton_iterations += newton_result.iterations;
+      if (!newton_result.converged) {
+        ladder_ok = false;
+        break;
+      }
+      if (gmin / options.gmin_ratio < options.gmin && gmin > options.gmin) {
+        // Final rung: land exactly on the target gmin.
+        ctx.gmin = options.gmin;
+        newton_result = attempt(system, x, options.newton);
+        result.newton_iterations += newton_result.iterations;
+        ladder_ok = newton_result.converged;
+        break;
+      }
+    }
+    ctx.gmin = options.gmin;
+    if (ladder_ok && newton_result.converged) {
+      result.converged = true;
+      result.strategy = "gmin-stepping";
+      result.solution = std::move(x);
+      return result;
+    }
+  }
+
+  // Strategy 3: source stepping — ramp all independent sources from zero.
+  {
+    std::vector<double> x(n, 0.0);
+    bool ok = true;
+    for (std::size_t step = 1; step <= options.source_steps; ++step) {
+      ctx.source_scale =
+          static_cast<double>(step) / static_cast<double>(options.source_steps);
+      newton_result = attempt(system, x, options.newton);
+      result.newton_iterations += newton_result.iterations;
+      if (!newton_result.converged) {
+        ok = false;
+        break;
+      }
+    }
+    ctx.source_scale = 1.0;
+    if (ok) {
+      result.converged = true;
+      result.strategy = "source-stepping";
+      result.solution = std::move(x);
+      return result;
+    }
+  }
+
+  OXMLC_WARN << "DC operating point failed to converge (residual "
+             << newton_result.final_residual_norm << ")";
+  result.converged = false;
+  result.strategy = "failed";
+  return result;
+}
+
+std::vector<SweepPoint> dc_sweep(MnaSystem& system,
+                                 const std::function<void(double)>& set_parameter,
+                                 const std::vector<double>& values, const DcOptions& options) {
+  std::vector<SweepPoint> points;
+  points.reserve(values.size());
+  const std::vector<double>* seed = nullptr;
+  for (double value : values) {
+    set_parameter(value);
+    SweepPoint point;
+    point.parameter = value;
+    point.result = solve_dc(system, options, seed);
+    if (point.result.converged) seed = &point.result.solution;
+    points.push_back(std::move(point));
+    if (seed) seed = &points.back().result.solution;
+  }
+  return points;
+}
+
+}  // namespace oxmlc::spice

@@ -1,0 +1,49 @@
+// DC analyses: operating point (with gmin and source-stepping homotopies) and
+// parameterized DC sweeps (used for the I-V characteristics of Figs. 1c / 5).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "numeric/newton.hpp"
+#include "spice/mna.hpp"
+
+namespace oxmlc::spice {
+
+struct DcOptions {
+  num::NewtonOptions newton;
+  double gmin = 1e-12;
+  // gmin stepping ladder: start at gmin_start and divide by gmin_ratio until
+  // reaching `gmin`. Applied only when the direct solve fails.
+  double gmin_start = 1e-3;
+  double gmin_ratio = 10.0;
+  // Source stepping: number of homotopy points from 0 to full bias. Applied
+  // only when gmin stepping also fails.
+  std::size_t source_steps = 20;
+};
+
+struct DcResult {
+  bool converged = false;
+  std::vector<double> solution;     // final unknown vector
+  std::size_t newton_iterations = 0;
+  std::string strategy;             // "direct", "gmin-stepping", "source-stepping"
+};
+
+// Solves for the DC operating point. `initial_guess` (optional) seeds Newton;
+// pass the previous sweep point's solution for fast continuation.
+DcResult solve_dc(MnaSystem& system, const DcOptions& options = {},
+                  const std::vector<double>* initial_guess = nullptr);
+
+// DC sweep driver: `set_parameter(value)` mutates the circuit (e.g. a source
+// voltage) before each point; each point is seeded with the previous solution.
+struct SweepPoint {
+  double parameter = 0.0;
+  DcResult result;
+};
+
+std::vector<SweepPoint> dc_sweep(MnaSystem& system,
+                                 const std::function<void(double)>& set_parameter,
+                                 const std::vector<double>& values,
+                                 const DcOptions& options = {});
+
+}  // namespace oxmlc::spice

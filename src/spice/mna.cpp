@@ -1,0 +1,29 @@
+#include "spice/mna.hpp"
+
+#include <algorithm>
+
+namespace oxmlc::spice {
+
+void MnaSystem::assemble(std::span<const double> x, num::TripletMatrix& jacobian,
+                         std::span<double> residual) {
+  std::fill(residual.begin(), residual.end(), 0.0);
+  jacobian.resize(dimension());
+
+  context_.x = x;
+  Stamper stamper(jacobian, residual);
+  for (auto& device : circuit_.devices()) {
+    device->stamp(context_, stamper);
+  }
+
+  // Universal gmin shunt from every node to ground: keeps the matrix
+  // non-singular when a node is only driven through nonlinear devices that are
+  // currently cut off (e.g. a MOSFET gate net before its driver turns on).
+  const double gmin = context_.gmin;
+  const std::size_t nodes = circuit_.node_count();
+  for (std::size_t i = 0; i < nodes; ++i) {
+    jacobian.add(i, i, gmin);
+    residual[i] += gmin * x[i];
+  }
+}
+
+}  // namespace oxmlc::spice

@@ -1,0 +1,40 @@
+// MNA assembly: adapts a Circuit to the Newton solver's NonlinearSystem.
+#pragma once
+
+#include <span>
+
+#include "numeric/newton.hpp"
+#include "spice/circuit.hpp"
+
+namespace oxmlc::spice {
+
+class MnaSystem final : public num::NonlinearSystem {
+ public:
+  explicit MnaSystem(Circuit& circuit) : circuit_(circuit) {
+    circuit_.finalize();
+  }
+
+  std::size_t dimension() const override { return circuit_.unknown_count(); }
+
+  void assemble(std::span<const double> x, num::TripletMatrix& jacobian,
+                std::span<double> residual) override;
+
+  // Per-component Newton step clamp: node voltages move at most 1 V per
+  // iteration (exponential device models diverge otherwise); branch currents
+  // are unconstrained.
+  double max_step(std::size_t component) const override {
+    return component < circuit_.node_count() ? 1.0 : 0.0;
+  }
+
+  // The analysis drivers configure the context between Newton solves.
+  StampContext& context() { return context_; }
+  const StampContext& context() const { return context_; }
+
+  Circuit& circuit() { return circuit_; }
+
+ private:
+  Circuit& circuit_;
+  StampContext context_;
+};
+
+}  // namespace oxmlc::spice

@@ -1,0 +1,58 @@
+// SPICE-style netlist text parser.
+//
+// Lets testbenches and users describe circuits in the familiar card format
+// instead of C++ calls:
+//
+//   * terminated RST testbench
+//   .param vdd=3.3 rbl={2*256}
+//   VDD vdd 0 DC {vdd}
+//   VSL sl 0 PULSE(0 1.6 0 10n 10n 3.5u)
+//   RBL bl term {rbl}
+//   CBL bl 0 1p
+//   M1 sl wl be 0 NMOS W=0.8u L=0.5u
+//   XCELL bl be OXRAM GAP=0.25n
+//   .end
+//
+// Supported cards (first letter selects the device, SPICE convention):
+//   R / C / L                         two-terminal passives
+//   V / I                             sources: DC <v> | <v> | PULSE(...) |
+//                                     PWL(t1 v1 t2 v2 ...) | SIN(off amp freq)
+//   E / G                             VCVS / VCCS: out+ out- in+ in- gain
+//   D                                 diode: anode cathode [IS=..] [N=..]
+//   M                                 MOSFET: d g s b NMOS|PMOS W=.. L=..
+//                                     [VT0=..] [KP=..] [LAMBDA=..]
+//   S                                 switch: a b c+ c- [VT=..] [RON=..]
+//                                     [ROFF=..]
+//   X<name> te be OXRAM               OxRAM cell: [GAP=..] [VIRGIN=0|1]
+// Directives: .param NAME=VALUE..., .end, * / ; comments, + continuations.
+//
+// Values accept SI suffixes (f p n u m k meg g t) and {expressions} over
+// numbers and .param names with + - * / and parentheses.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace oxmlc::spice {
+
+struct ParsedNetlist {
+  Circuit circuit;
+  std::string title;                         // first line when it is not a card
+  std::map<std::string, double> parameters;  // final .param table
+  std::vector<std::string> device_names;     // in card order
+};
+
+// Parses the netlist text and builds the circuit (not yet finalized, so
+// callers may add probes/devices programmatically before analysis).
+// Throws InvalidArgumentError with a line-numbered message on malformed input.
+ParsedNetlist parse_netlist(const std::string& text);
+
+// Parses one numeric value with SI suffix ("10k", "1p", "2.5meg", "1e-9") or
+// a brace expression ("{2*vdd+1k}") against the given parameter table.
+double parse_value(const std::string& token,
+                   const std::map<std::string, double>& parameters = {});
+
+}  // namespace oxmlc::spice

@@ -1,0 +1,14 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace oxmlc::detail {
+
+void throw_check_failed(const char* expr, const char* file, int line,
+                        const std::string& message) {
+  std::ostringstream os;
+  os << message << " [check `" << expr << "` failed at " << file << ":" << line << "]";
+  throw InvalidArgumentError(os.str());
+}
+
+}  // namespace oxmlc::detail

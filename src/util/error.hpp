@@ -1,0 +1,52 @@
+// Error handling for oxmlc.
+//
+// Exceptions are used for programmer/configuration errors (bad netlist, bad
+// parameters) and for solver failures that the caller is expected to handle
+// (non-convergence). Every exception derives from `oxmlc::Error` so callers
+// can catch the whole library with one handler.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace oxmlc {
+
+// Base class for all oxmlc exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Malformed input: bad netlist text, unknown device, inconsistent parameters.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+// Numerical failure: singular matrix, Newton divergence, step-size collapse.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+// Internal invariant violated; indicates a bug in oxmlc itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failed(const char* expr, const char* file, int line,
+                                     const std::string& message);
+}  // namespace detail
+
+}  // namespace oxmlc
+
+// Precondition / invariant check that throws InvalidArgumentError with context.
+// Usage: OXMLC_CHECK(n > 0, "node count must be positive");
+#define OXMLC_CHECK(expr, message)                                              \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      ::oxmlc::detail::throw_check_failed(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                           \
+  } while (false)

@@ -1,0 +1,34 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace oxmlc {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::cerr << "[oxmlc " << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace oxmlc

@@ -1,0 +1,49 @@
+// Minimal leveled logging. The solver and Monte-Carlo runner log convergence
+// diagnostics at kDebug; benches run at kInfo by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace oxmlc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded. Not thread-synchronized
+// by design: it is set once at startup, before worker threads exist.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace oxmlc
+
+#define OXMLC_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::oxmlc::log_level())) { \
+  } else                                                  \
+    ::oxmlc::detail::LogStream(level)
+
+#define OXMLC_DEBUG OXMLC_LOG(::oxmlc::LogLevel::kDebug)
+#define OXMLC_INFO OXMLC_LOG(::oxmlc::LogLevel::kInfo)
+#define OXMLC_WARN OXMLC_LOG(::oxmlc::LogLevel::kWarn)
+#define OXMLC_ERROR OXMLC_LOG(::oxmlc::LogLevel::kError)

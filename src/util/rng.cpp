@@ -1,0 +1,104 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace oxmlc {
+namespace {
+
+// SplitMix64: used only for seeding / stream derivation.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  OXMLC_CHECK(n > 0, "uniform_index requires n > 0");
+  // Debiased multiply-shift (Lemire).
+  while (true) {
+    const std::uint64_t x = next_u64();
+    const __uint128_t m = static_cast<__uint128_t>(x) * n;
+    const std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo >= n) return static_cast<std::uint64_t>(m >> 64);
+    const std::uint64_t threshold = (0ULL - n) % n;
+    if (lo >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Marsaglia polar method.
+  double u = 0.0, v = 0.0, s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::truncated_normal(double mean, double sigma, double lo, double hi) {
+  OXMLC_CHECK(lo < hi, "truncated_normal requires lo < hi");
+  if (sigma <= 0.0) {
+    return mean < lo ? lo : (mean > hi ? hi : mean);
+  }
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const double x = normal(mean, sigma);
+    if (x >= lo && x <= hi) return x;
+  }
+  // Distribution mass inside [lo,hi] is vanishing; clamp rather than loop.
+  const double x = normal(mean, sigma);
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+Rng Rng::split() {
+  // Derive a child seed from two raw draws; SplitMix64 in the constructor
+  // whitens it into a full 256-bit state.
+  const std::uint64_t a = next_u64();
+  const std::uint64_t b = next_u64();
+  return Rng(a ^ rotl(b, 32) ^ 0xD1B54A32D192ED03ULL);
+}
+
+}  // namespace oxmlc

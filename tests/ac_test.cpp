@@ -1,0 +1,163 @@
+// AC small-signal analysis against closed-form answers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/mosfet.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "oxram/device.hpp"
+#include "spice/ac.hpp"
+#include "util/error.hpp"
+
+namespace oxmlc::spice {
+namespace {
+
+using dev::Capacitor;
+using dev::Inductor;
+using dev::Mosfet;
+using dev::Resistor;
+using dev::VoltageSource;
+
+TEST(Ac, RcLowPassCornerAndRolloff) {
+  Circuit c;
+  const int in = c.node("in");
+  const int out = c.node("out");
+  auto& src = c.add<VoltageSource>("V1", in, kGround, 0.0);
+  src.set_ac(1.0);
+  c.add<Resistor>("R1", in, out, 1e3);
+  c.add<Capacitor>("C1", out, kGround, 1e-9);  // fc = 159.15 kHz
+
+  MnaSystem system(c);
+  AcOptions options;
+  options.f_start = 1e3;
+  options.f_stop = 1e8;
+  options.points_per_decade = 40;
+  const AcResult result = run_ac(system, options);
+  ASSERT_TRUE(result.converged);
+
+  const double fc = 1.0 / (2.0 * phys::kPi * 1e3 * 1e-9);
+  for (std::size_t k = 0; k < result.frequencies.size(); ++k) {
+    const double f = result.frequencies[k];
+    const double expected = 1.0 / std::sqrt(1.0 + (f / fc) * (f / fc));
+    EXPECT_NEAR(result.magnitude(k, out), expected, 2e-3) << "f=" << f;
+    const double expected_phase = -std::atan(f / fc) * 180.0 / phys::kPi;
+    EXPECT_NEAR(result.phase_deg(k, out), expected_phase, 0.5) << "f=" << f;
+  }
+  // -3 dB corner lands within one grid step of fc.
+  const std::size_t corner = result.corner_index(out);
+  ASSERT_LT(corner, result.frequencies.size());
+  EXPECT_NEAR(std::log10(result.frequencies[corner]), std::log10(fc), 0.05);
+}
+
+TEST(Ac, RlcSeriesResonance) {
+  Circuit c;
+  const int in = c.node("in");
+  const int mid = c.node("mid");
+  const int out = c.node("out");
+  auto& src = c.add<VoltageSource>("V1", in, kGround, 0.0);
+  src.set_ac(1.0);
+  c.add<Resistor>("R1", in, mid, 10.0);
+  c.add<Inductor>("L1", mid, out, 1e-6);
+  c.add<Capacitor>("C1", out, kGround, 1e-9);
+
+  MnaSystem system(c);
+  AcOptions options;
+  options.f_start = 1e5;
+  options.f_stop = 1e9;
+  options.points_per_decade = 100;
+  const AcResult result = run_ac(system, options);
+  ASSERT_TRUE(result.converged);
+
+  // Peak |V(out)| at f0 = 1/(2 pi sqrt(LC)) ~ 5.03 MHz with Q = 10.
+  const double f0 = 1.0 / (2.0 * phys::kPi * std::sqrt(1e-6 * 1e-9));
+  double best_f = 0.0, best_mag = 0.0;
+  for (std::size_t k = 0; k < result.frequencies.size(); ++k) {
+    if (result.magnitude(k, out) > best_mag) {
+      best_mag = result.magnitude(k, out);
+      best_f = result.frequencies[k];
+    }
+  }
+  EXPECT_NEAR(std::log10(best_f), std::log10(f0), 0.02);
+  const double q = std::sqrt(1e-6 / 1e-9) / 10.0;  // sqrt(L/C)/R = 3.16
+  EXPECT_NEAR(best_mag, q, 0.2);
+}
+
+TEST(Ac, CommonSourceAmpGainMatchesGmRo) {
+  Circuit c;
+  const int vdd = c.node("vdd");
+  const int in = c.node("in");
+  const int out = c.node("out");
+  c.add<VoltageSource>("Vdd", vdd, kGround, 3.3);
+  auto& vin = c.add<VoltageSource>("Vin", in, kGround, 1.2);
+  vin.set_ac(1.0);
+  auto& rd = c.add<Resistor>("Rd", vdd, out, 10e3);
+  const dev::MosfetParams p = dev::tech130hv::nmos(2e-6, 1e-6);
+  c.add<Mosfet>("M1", out, in, kGround, kGround, p);
+
+  MnaSystem system(c);
+  AcOptions options;
+  options.f_start = 1e3;
+  options.f_stop = 1e4;  // low frequency: purely resistive
+  options.points_per_decade = 2;
+  const AcResult result = run_ac(system, options);
+  ASSERT_TRUE(result.converged);
+
+  // Expected |gain| = gm * (Rd || ro) at the DC operating point.
+  const double vds = result.dc_operating_point[static_cast<std::size_t>(out)];
+  const auto op = dev::evaluate_level1(p, 1.2, vds, 0.0);
+  const double ro = 1.0 / op.gds;
+  const double expected = op.gm * (10e3 * ro) / (10e3 + ro);
+  EXPECT_NEAR(result.magnitude(0, out), expected, expected * 0.02);
+  // Inverting stage: ~180 degrees.
+  EXPECT_NEAR(std::fabs(result.phase_deg(0, out)), 180.0, 1.0);
+  (void)rd;
+}
+
+TEST(Ac, QuietCircuitGivesZeroResponse) {
+  Circuit c;
+  const int n1 = c.node("n1");
+  c.add<VoltageSource>("V1", n1, kGround, 1.0);  // no set_ac
+  c.add<Resistor>("R1", n1, kGround, 1e3);
+  MnaSystem system(c);
+  const AcResult result = run_ac(system);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.magnitude(0, n1), 0.0, 1e-12);
+}
+
+TEST(Ac, RejectsBadFrequencyRange) {
+  Circuit c;
+  c.add<Resistor>("R1", c.node("a"), kGround, 1e3);
+  MnaSystem system(c);
+  AcOptions options;
+  options.f_start = 1e6;
+  options.f_stop = 1e3;
+  EXPECT_THROW(run_ac(system, options), InvalidArgumentError);
+}
+
+TEST(Ac, OxramBiasDependentSmallSignalConductance) {
+  // The cell's AC conductance at a DC bias equals dI/dV there — the Jacobian
+  // linearization carries nonlinear devices into .ac for free.
+  for (double bias : {0.1, 0.3, 0.6}) {
+    Circuit c;
+    const int te = c.node("te");
+    auto& v = c.add<VoltageSource>("V1", te, kGround, bias);
+    v.set_ac(1.0);
+    const oxram::OxramParams p;
+    c.add<oxram::OxramDevice>("X1", te, kGround, p, 1e-9);
+    MnaSystem system(c);
+    AcOptions options;
+    options.f_start = 1e3;
+    options.f_stop = 1e4;
+    options.points_per_decade = 1;
+    const AcResult result = run_ac(system, options);
+    ASSERT_TRUE(result.converged);
+    // Branch current of V1 = -I(cell) phasor = -g(bias) * 1V.
+    const int br = v.branch_index();
+    const double expected = oxram::cell_conductance(p, bias, 1e-9);
+    EXPECT_NEAR(result.magnitude(0, br), expected, expected * 1e-3) << bias;
+  }
+}
+
+}  // namespace
+}  // namespace oxmlc::spice

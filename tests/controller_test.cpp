@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "mlc/controller.hpp"
+#include "util/error.hpp"
+
+namespace oxmlc::mlc {
+namespace {
+
+struct ControllerFixture : public ::testing::Test {
+  ControllerFixture()
+      : config(QlcConfig::paper_default(
+            build_calibration_curve(oxram::OxramParams{}, oxram::StackConfig{},
+                                    QlcConfig::paper_default(), kPaperIrefMin,
+                                    kPaperIrefMax, 13))),
+        programmer(config),
+        memory(4, 8, oxram::OxramParams{}, oxram::OxramVariability{},
+               oxram::StackConfig{}, 314),
+        controller(memory, programmer) {
+    controller.form();
+  }
+
+  QlcConfig config;
+  QlcProgrammer programmer;
+  array::FastArray memory;
+  MemoryController controller;
+};
+
+TEST_F(ControllerFixture, Geometry) {
+  EXPECT_EQ(controller.word_count(), 4u);
+  EXPECT_EQ(controller.cells_per_word(), 8u);
+  EXPECT_EQ(controller.bits_per_word(), 32u);  // 8 QLC cells
+}
+
+TEST_F(ControllerFixture, PackedWordRoundTrip) {
+  const std::uint64_t payload = 0xDEADBEEFull;
+  const auto stats = controller.write_word(0, payload);
+  EXPECT_EQ(stats.unterminated, 0u);
+  EXPECT_GT(stats.energy, 0.0);
+  EXPECT_GT(stats.latency, 0.0);
+  EXPECT_EQ(controller.read_word(0), payload);
+}
+
+TEST_F(ControllerFixture, EveryWordIndependent) {
+  const std::uint64_t payloads[4] = {0x00000000ull, 0xFFFFFFFFull, 0x12345678ull,
+                                     0xCAFEF00Dull};
+  for (std::size_t row = 0; row < 4; ++row) controller.write_word(row, payloads[row]);
+  for (std::size_t row = 0; row < 4; ++row) {
+    EXPECT_EQ(controller.read_word(row), payloads[row]) << row;
+  }
+}
+
+TEST_F(ControllerFixture, ParallelLatencyIsMaxOfBits) {
+  // A word mixing the fastest (level 0) and slowest (level 15) bits must take
+  // as long as its slowest bit, not the sum.
+  std::vector<std::size_t> levels = {0, 15, 0, 0, 0, 0, 0, 0};
+  const auto mixed = controller.write_word_levels(0, levels);
+  std::vector<std::size_t> all_fast(8, 0);
+  const auto fast = controller.write_word_levels(1, all_fast);
+  std::vector<std::size_t> all_slow(8, 15);
+  const auto slow = controller.write_word_levels(2, all_slow);
+  EXPECT_GT(mixed.latency, 2.0 * fast.latency);
+  EXPECT_LT(mixed.latency, 1.5 * slow.latency);
+  // Energy is additive: the mixed word costs between the two extremes.
+  EXPECT_GT(mixed.energy, fast.energy);
+  EXPECT_LT(mixed.energy, slow.energy);
+}
+
+TEST_F(ControllerFixture, RewriteWords) {
+  controller.write_word(3, 0xAAAAAAAAull);
+  EXPECT_EQ(controller.read_word(3), 0xAAAAAAAAull);
+  controller.write_word(3, 0x55555555ull);
+  EXPECT_EQ(controller.read_word(3), 0x55555555ull);
+  EXPECT_EQ(controller.words_written(), 2u);
+  EXPECT_GT(controller.total_energy(), 0.0);
+}
+
+TEST_F(ControllerFixture, LevelVectorArityChecked) {
+  std::vector<std::size_t> wrong(3, 0);
+  EXPECT_THROW(controller.write_word_levels(0, wrong), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace oxmlc::mlc

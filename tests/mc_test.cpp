@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "mc/runner.hpp"
+#include "util/stats.hpp"
+
+namespace oxmlc::mc {
+namespace {
+
+TEST(McRunner, TrialRngIsDeterministicPerIndex) {
+  Rng a = trial_rng(42, 7);
+  Rng b = trial_rng(42, 7);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(McRunner, TrialsAreIndependentStreams) {
+  Rng a = trial_rng(42, 0);
+  Rng b = trial_rng(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(McRunner, ResultsIndependentOfThreadCount) {
+  const std::function<double(std::size_t, Rng&)> trial = [](std::size_t, Rng& rng) {
+    double sum = 0.0;
+    for (int i = 0; i < 10; ++i) sum += rng.normal(0, 1);
+    return sum;
+  };
+  McOptions serial;
+  serial.trials = 64;
+  serial.threads = 1;
+  McOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a = run_trials<double>(serial, trial);
+  const auto b = run_trials<double>(parallel, trial);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(McRunner, SeedChangesSamples) {
+  const std::function<double(std::size_t, Rng&)> trial = [](std::size_t, Rng& rng) {
+    return rng.uniform();
+  };
+  McOptions one;
+  one.trials = 16;
+  one.seed = 1;
+  McOptions two = one;
+  two.seed = 2;
+  const auto a = run_trials<double>(one, trial);
+  const auto b = run_trials<double>(two, trial);
+  int equal = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) equal += a[i] == b[i];
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(McRunner, TrialIndexIsPassedThrough) {
+  const std::function<std::size_t(std::size_t, Rng&)> trial = [](std::size_t index, Rng&) {
+    return index;
+  };
+  McOptions options;
+  options.trials = 20;
+  const auto samples = run_trials<std::size_t>(options, trial);
+  for (std::size_t i = 0; i < samples.size(); ++i) EXPECT_EQ(samples[i], i);
+}
+
+TEST(McRunner, SampledMeanConvergesToTruth) {
+  const std::function<double(std::size_t, Rng&)> trial = [](std::size_t, Rng& rng) {
+    return rng.normal(3.0, 1.0);
+  };
+  McOptions options;
+  options.trials = 20000;
+  const auto samples = run_trials<double>(options, trial);
+  RunningStats stats;
+  for (double s : samples) stats.add(s);
+  EXPECT_NEAR(stats.mean(), 3.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace oxmlc::mc

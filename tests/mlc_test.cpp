@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mlc/levels.hpp"
+#include "mlc/margins.hpp"
+#include "mlc/mc_study.hpp"
+#include "mlc/program.hpp"
+#include "util/error.hpp"
+
+namespace oxmlc::mlc {
+namespace {
+
+// A shared nominal calibration curve (built once; programming sweeps are
+// moderately expensive).
+const CalibrationCurve& nominal_curve() {
+  static const CalibrationCurve curve = [] {
+    const QlcConfig config = QlcConfig::paper_default();
+    return build_calibration_curve(oxram::OxramParams{}, oxram::StackConfig{}, config,
+                                   kPaperIrefMin, kPaperIrefMax, 13);
+  }();
+  return curve;
+}
+
+// ---------------------------------------------------------------------------
+// level allocation
+// ---------------------------------------------------------------------------
+
+TEST(Levels, IsoDeltaIHasConstantCurrentStep) {
+  const auto alloc = LevelAllocation::iso_delta_i(4, 6e-6, 36e-6);
+  ASSERT_EQ(alloc.count(), 16u);
+  // Table 2: each IrefR differs from the next by exactly 2 uA.
+  for (std::size_t v = 0; v + 1 < alloc.count(); ++v) {
+    EXPECT_NEAR(alloc.levels[v].iref - alloc.levels[v + 1].iref, 2e-6, 1e-12);
+  }
+  EXPECT_NEAR(alloc.levels[0].iref, 36e-6, 1e-12);   // '0000'
+  EXPECT_NEAR(alloc.levels[15].iref, 6e-6, 1e-12);   // '1111'
+}
+
+TEST(Levels, PatternsMatchTable2Convention) {
+  const auto alloc = LevelAllocation::iso_delta_i(4, 6e-6, 36e-6);
+  EXPECT_EQ(alloc.pattern(0), "0000");
+  EXPECT_EQ(alloc.pattern(15), "1111");
+  EXPECT_EQ(alloc.pattern(10), "1010");
+  EXPECT_EQ(alloc.pattern(5), "0101");
+}
+
+TEST(Levels, BitWidthsScale) {
+  for (std::size_t bits : {1u, 2u, 3u, 5u, 6u}) {
+    const auto alloc = LevelAllocation::iso_delta_i(bits, 6e-6, 36e-6);
+    EXPECT_EQ(alloc.count(), std::size_t{1} << bits);
+  }
+  EXPECT_THROW(LevelAllocation::iso_delta_i(0, 6e-6, 36e-6), InvalidArgumentError);
+  EXPECT_THROW(LevelAllocation::iso_delta_i(4, 36e-6, 6e-6), InvalidArgumentError);
+}
+
+TEST(Levels, PaperTable2IsMonotoneAndComplete) {
+  const auto& table = paper_table2();
+  ASSERT_EQ(table.size(), 16u);
+  std::set<std::size_t> values;
+  for (std::size_t k = 0; k < table.size(); ++k) {
+    values.insert(table[k].value);
+    if (k > 0) {
+      EXPECT_GT(table[k].iref, table[k - 1].iref);
+      EXPECT_LT(table[k].r_hrs, table[k - 1].r_hrs);
+    }
+  }
+  EXPECT_EQ(values.size(), 16u);  // the published typo is resolved
+  EXPECT_DOUBLE_EQ(table.front().r_hrs, 267e3);
+  EXPECT_DOUBLE_EQ(table.back().r_hrs, 38.17e3);
+}
+
+TEST(Levels, PaperTable2ProductIsNearlyConstant) {
+  // The physics check behind the allocation: IrefR * RHRS ~ 1.4-1.6 V across
+  // the whole table (the termination voltage seen by the cell).
+  for (const auto& entry : paper_table2()) {
+    const double product = entry.iref * entry.r_hrs;
+    EXPECT_GT(product, 1.3);
+    EXPECT_LT(product, 1.7);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// calibration curve
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, CurveIsMonotoneDecreasing) {
+  const auto& curve = nominal_curve();
+  const auto& resistances = curve.resistances();
+  for (std::size_t k = 1; k < resistances.size(); ++k) {
+    EXPECT_LT(resistances[k], resistances[k - 1]);
+  }
+}
+
+TEST(Calibration, CurveTracksPaperTable2Within35Percent) {
+  // Absolute-value sanity: our R(IrefR) lands in the paper's neighbourhood
+  // at every tabulated current (shape matters; exact values do not).
+  const auto& curve = nominal_curve();
+  for (const auto& entry : paper_table2()) {
+    const double r = curve.resistance_at(entry.iref);
+    EXPECT_GT(r, entry.r_hrs * 0.65) << entry.iref;
+    EXPECT_LT(r, entry.r_hrs * 1.35) << entry.iref;
+  }
+}
+
+TEST(Calibration, InverseRoundTrips) {
+  const auto& curve = nominal_curve();
+  for (double iref : {7e-6, 15e-6, 30e-6}) {
+    const double r = curve.resistance_at(iref);
+    EXPECT_NEAR(curve.iref_for_resistance(r), iref, iref * 1e-3);
+  }
+}
+
+TEST(Calibration, IsoDeltaRUsesCurve) {
+  const auto& curve = nominal_curve();
+  const double r_min = curve.resistance_at(36e-6);
+  const double r_max = curve.resistance_at(6e-6);
+  const auto alloc = LevelAllocation::iso_delta_r(3, r_min, r_max, curve);
+  ASSERT_EQ(alloc.count(), 8u);
+  // Equal resistance steps by construction.
+  const double step = alloc.levels[1].r_nominal - alloc.levels[0].r_nominal;
+  for (std::size_t v = 1; v + 1 < alloc.count(); ++v) {
+    EXPECT_NEAR(alloc.levels[v + 1].r_nominal - alloc.levels[v].r_nominal, step,
+                step * 1e-6);
+  }
+  // Currents must be monotone decreasing with value.
+  for (std::size_t v = 0; v + 1 < alloc.count(); ++v) {
+    EXPECT_GT(alloc.levels[v].iref, alloc.levels[v + 1].iref);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// programmer: program + read round trip
+// ---------------------------------------------------------------------------
+
+QlcConfig test_config(std::size_t bits = 4) {
+  QlcConfig config = QlcConfig::paper_default();
+  config.allocation =
+      LevelAllocation::iso_delta_i(bits, kPaperIrefMin, kPaperIrefMax, nominal_curve());
+  return config;
+}
+
+TEST(Programmer, ReferenceBankSizeAndOrder) {
+  const QlcProgrammer programmer(test_config());
+  const auto& refs = programmer.read_references();
+  // "If 16 resistance states are targeted, 15 current references are
+  // necessary" (paper §4.1).
+  ASSERT_EQ(refs.size(), 15u);
+  for (std::size_t k = 1; k < refs.size(); ++k) EXPECT_GT(refs[k], refs[k - 1]);
+}
+
+TEST(Programmer, AllLevelsRoundTripNominally) {
+  QlcConfig config = test_config();
+  // Nominal conditions: no variability anywhere.
+  config.termination.mismatch.enabled = false;
+  config.sense = array::SenseAmpModel::ideal();
+  config.variability = oxram::OxramVariability::disabled();
+  const QlcProgrammer programmer(config);
+  Rng rng(1);
+  for (std::size_t level = 0; level < 16; ++level) {
+    oxram::FastCell cell =
+        oxram::FastCell::formed_lrs(oxram::OxramParams{}, oxram::StackConfig{});
+    const ProgramOutcome outcome = programmer.program(cell, level, rng);
+    EXPECT_TRUE(outcome.terminated) << level;
+    EXPECT_EQ(programmer.read_level(cell, rng), level);
+  }
+}
+
+TEST(Programmer, RoundTripSurvivesVariability) {
+  const QlcProgrammer programmer(test_config());
+  Rng rng(2024);
+  int errors = 0;
+  const int per_level = 6;
+  for (std::size_t level = 0; level < 16; ++level) {
+    for (int trial = 0; trial < per_level; ++trial) {
+      const auto device =
+          sample_device(oxram::OxramParams{}, oxram::OxramVariability{}, rng);
+      oxram::FastCell cell = oxram::FastCell::formed_lrs(device, oxram::StackConfig{});
+      programmer.program(cell, level, rng);
+      errors += programmer.read_level(cell, rng) != level;
+    }
+  }
+  // Fig. 11: no distribution overlap at 4 bits => decode errors must be rare.
+  EXPECT_LE(errors, 1);
+}
+
+TEST(Programmer, ResistanceMatchesAllocationNominal) {
+  QlcConfig config = test_config();
+  config.termination.mismatch.enabled = false;
+  config.variability = oxram::OxramVariability::disabled();
+  const QlcProgrammer programmer(config);
+  Rng rng(7);
+  for (std::size_t level : {0ul, 7ul, 15ul}) {
+    oxram::FastCell cell =
+        oxram::FastCell::formed_lrs(oxram::OxramParams{}, oxram::StackConfig{});
+    const auto outcome = programmer.program(cell, level, rng);
+    EXPECT_NEAR(outcome.resistance, config.allocation.levels[level].r_nominal,
+                config.allocation.levels[level].r_nominal * 0.03);
+  }
+}
+
+TEST(Programmer, RejectsOutOfRangeLevel) {
+  const QlcProgrammer programmer(test_config());
+  oxram::FastCell cell =
+      oxram::FastCell::formed_lrs(oxram::OxramParams{}, oxram::StackConfig{});
+  Rng rng(1);
+  EXPECT_THROW(programmer.program(cell, 16, rng), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// margins analysis
+// ---------------------------------------------------------------------------
+
+LevelDistribution synthetic_level(std::size_t value, double r_nominal, double spread) {
+  LevelDistribution d;
+  d.level.value = value;
+  d.level.r_nominal = r_nominal;
+  Rng rng(100 + value);
+  for (int i = 0; i < 200; ++i) {
+    d.resistance.push_back(rng.uniform(r_nominal - spread, r_nominal + spread));
+    d.energy.push_back(1e-12);
+    d.latency.push_back(1e-6);
+  }
+  return d;
+}
+
+TEST(Margins, DisjointDistributionsHavePositiveMargin) {
+  std::vector<LevelDistribution> dists;
+  dists.push_back(synthetic_level(0, 40e3, 1e3));
+  dists.push_back(synthetic_level(1, 50e3, 1e3));
+  const MarginReport report = analyze_margins(dists);
+  EXPECT_FALSE(report.any_overlap);
+  EXPECT_NEAR(report.minimal_nominal_spacing, 10e3, 1.0);
+  EXPECT_GT(report.worst_case_margin, 7.5e3);
+  EXPECT_LT(report.worst_case_margin, 10e3);
+}
+
+TEST(Margins, OverlapIsDetected) {
+  std::vector<LevelDistribution> dists;
+  dists.push_back(synthetic_level(0, 40e3, 6e3));
+  dists.push_back(synthetic_level(1, 45e3, 6e3));
+  const MarginReport report = analyze_margins(dists);
+  EXPECT_TRUE(report.any_overlap);
+  EXPECT_LT(report.worst_case_margin, 0.0);
+}
+
+TEST(Margins, ReportsPerPairStatistics) {
+  std::vector<LevelDistribution> dists;
+  for (std::size_t v = 0; v < 4; ++v) {
+    dists.push_back(synthetic_level(v, 40e3 + 20e3 * static_cast<double>(v), 2e3));
+  }
+  const MarginReport report = analyze_margins(dists);
+  ASSERT_EQ(report.margins.size(), 3u);
+  for (const auto& m : report.margins) {
+    EXPECT_GT(m.sigma_lower, 0.0);
+    EXPECT_NEAR(m.nominal_spacing, 20e3, 1.0);
+  }
+  EXPECT_THROW(analyze_margins({dists[0]}), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// baselines
+// ---------------------------------------------------------------------------
+
+TEST(Baselines, VrstAmplitudesIncreaseWithLevel) {
+  const QlcConfig config = test_config(2);  // 4 levels: keep calibration cheap
+  const VrstPulseBaseline baseline(config.allocation, oxram::OxramParams{},
+                                   oxram::StackConfig{}, config.reset_op, config.set_op);
+  const auto& amps = baseline.amplitudes();
+  ASSERT_EQ(amps.size(), 4u);
+  for (std::size_t k = 1; k < amps.size(); ++k) EXPECT_GT(amps[k], amps[k - 1]);
+}
+
+TEST(Baselines, VrstSpreadExceedsTerminationSpread) {
+  // The reason the paper's scheme wins: open-loop VRST programming passes the
+  // full C2C/D2D dynamics variation into the resistance; termination does not.
+  const QlcConfig config = test_config(2);
+  const VrstPulseBaseline baseline(config.allocation, oxram::OxramParams{},
+                                   oxram::StackConfig{}, config.reset_op, config.set_op);
+  const QlcProgrammer programmer(config);
+  Rng rng(5);
+  RunningStats vrst_log_r, term_log_r;
+  const std::size_t level = 2;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto device = sample_device(oxram::OxramParams{}, oxram::OxramVariability{}, rng);
+    oxram::FastCell cell_a = oxram::FastCell::formed_lrs(device, oxram::StackConfig{});
+    vrst_log_r.add(std::log(baseline.program(cell_a, level, rng).resistance));
+    oxram::FastCell cell_b = oxram::FastCell::formed_lrs(device, oxram::StackConfig{});
+    term_log_r.add(std::log(programmer.program(cell_b, level, rng).resistance));
+  }
+  EXPECT_GT(vrst_log_r.stddev(), 2.0 * term_log_r.stddev());
+}
+
+TEST(Baselines, ProgramAndVerifyLandsInBandAtACost) {
+  const QlcConfig config = test_config(2);
+  ProgramVerifyConfig pv;
+  const ProgramAndVerifyBaseline baseline(config.allocation, config.reset_op,
+                                          config.set_op, pv);
+  Rng rng(17);
+  const std::size_t level = 2;
+  const double target = config.allocation.levels[level].r_nominal;
+  const auto device = sample_device(oxram::OxramParams{}, oxram::OxramVariability{}, rng);
+  oxram::FastCell cell = oxram::FastCell::formed_lrs(device, oxram::StackConfig{});
+  const auto outcome = baseline.program(cell, level, rng);
+  ASSERT_TRUE(outcome.terminated);  // converged into the band
+  EXPECT_NEAR(outcome.resistance, target, target * pv.band_tolerance * 1.2);
+  EXPECT_GT(outcome.pulses, 1u);  // needed multiple program slices
+}
+
+TEST(Baselines, IcSetProducesDistinctLrsLevels) {
+  const IcSetBaseline baseline(4, oxram::OxramParams{}, oxram::StackConfig{},
+                               oxram::SetOperation{});
+  const auto& wl = baseline.wl_voltages();
+  ASSERT_EQ(wl.size(), 4u);
+  // Deeper levels = lower compliance = lower WL voltage.
+  for (std::size_t k = 1; k < wl.size(); ++k) EXPECT_LT(wl[k], wl[k - 1]);
+  Rng rng(23);
+  double prev_r = 0.0;
+  for (std::size_t level = 0; level < 4; ++level) {
+    oxram::FastCell cell =
+        oxram::FastCell::formed_lrs(oxram::OxramParams{}, oxram::StackConfig{});
+    const auto outcome = baseline.program(cell, level, rng);
+    EXPECT_GT(outcome.resistance, prev_r);
+    prev_r = outcome.resistance;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mc study plumbing
+// ---------------------------------------------------------------------------
+
+TEST(McStudy, SingleLevelIsDeterministic) {
+  auto config = paper_mc_study(4, 8);
+  const auto a = run_single_level(config, 3);
+  const auto b = run_single_level(config, 3);
+  ASSERT_EQ(a.resistance.size(), 8u);
+  for (std::size_t i = 0; i < a.resistance.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.resistance[i], b.resistance[i]);
+  }
+}
+
+TEST(McStudy, LevelsAreOrderedAndPopulated) {
+  auto config = paper_mc_study(2, 5);
+  const auto dists = run_level_study(config);
+  ASSERT_EQ(dists.size(), 4u);
+  for (std::size_t v = 0; v + 1 < dists.size(); ++v) {
+    EXPECT_LT(dists[v].level.r_nominal, dists[v + 1].level.r_nominal);
+    EXPECT_EQ(dists[v].resistance.size(), 5u);
+    EXPECT_EQ(dists[v].energy.size(), 5u);
+    EXPECT_EQ(dists[v].latency.size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace oxmlc::mlc

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "oxram/device.hpp"
+#include "spice/dc.hpp"
+#include "spice/netlist.hpp"
+#include "spice/transient.hpp"
+#include "util/error.hpp"
+
+namespace oxmlc::spice {
+namespace {
+
+// ---------------------------------------------------------------------------
+// value parsing
+// ---------------------------------------------------------------------------
+
+TEST(NetlistValue, SiSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_value("10k"), 10e3);
+  EXPECT_DOUBLE_EQ(parse_value("1p"), 1e-12);
+  EXPECT_DOUBLE_EQ(parse_value("2.5meg"), 2.5e6);
+  EXPECT_DOUBLE_EQ(parse_value("100n"), 100e-9);
+  EXPECT_DOUBLE_EQ(parse_value("3.3"), 3.3);
+  EXPECT_DOUBLE_EQ(parse_value("1e-9"), 1e-9);
+  EXPECT_DOUBLE_EQ(parse_value("1f"), 1e-15);
+  EXPECT_DOUBLE_EQ(parse_value("4g"), 4e9);
+}
+
+TEST(NetlistValue, UnitTailIgnoredAfterSuffix) {
+  EXPECT_DOUBLE_EQ(parse_value("10kohm"), 10e3);
+  EXPECT_DOUBLE_EQ(parse_value("5uF"), 5e-6);
+}
+
+TEST(NetlistValue, Expressions) {
+  const std::map<std::string, double> params = {{"vdd", 3.3}, {"rload", 1e3}};
+  EXPECT_DOUBLE_EQ(parse_value("{2*vdd}", params), 6.6);
+  EXPECT_DOUBLE_EQ(parse_value("{vdd/2 + 0.35}", params), 2.0);
+  EXPECT_DOUBLE_EQ(parse_value("{(1k + rload) * 2}", params), 4000.0);
+  EXPECT_DOUBLE_EQ(parse_value("{-vdd}", params), -3.3);
+  EXPECT_DOUBLE_EQ(parse_value("vdd", params), 3.3);  // bare parameter
+}
+
+TEST(NetlistValue, Errors) {
+  EXPECT_THROW(parse_value("notanumber"), InvalidArgumentError);
+  EXPECT_THROW(parse_value("{1 +}"), InvalidArgumentError);
+  EXPECT_THROW(parse_value("{unknown_param}"), InvalidArgumentError);
+  EXPECT_THROW(parse_value("{1/0}"), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// structural parsing
+// ---------------------------------------------------------------------------
+
+TEST(Netlist, TitleCommentsAndEnd) {
+  auto parsed = parse_netlist(
+      "* my testbench\n"
+      "R1 a 0 1k ; trailing comment\n"
+      ".end\n"
+      "R2 b 0 1k\n");  // after .end: ignored
+  EXPECT_EQ(parsed.title, " my testbench");
+  EXPECT_EQ(parsed.device_names.size(), 1u);
+  EXPECT_NE(parsed.circuit.find_device("R1"), nullptr);
+  EXPECT_EQ(parsed.circuit.find_device("R2"), nullptr);
+}
+
+TEST(Netlist, ContinuationLines) {
+  auto parsed = parse_netlist(
+      "V1 in 0\n"
+      "+ PULSE(0 1 10n 1n\n"
+      "+ 1n 100n)\n"
+      "R1 in 0 1k\n");
+  auto* source = dynamic_cast<dev::VoltageSource*>(parsed.circuit.find_device("V1"));
+  ASSERT_NE(source, nullptr);
+  EXPECT_DOUBLE_EQ(source->waveform().value(50e-9), 1.0);
+}
+
+TEST(Netlist, ParamsPropagate) {
+  auto parsed = parse_netlist(
+      ".param vdd=2.5 half={vdd/2}\n"
+      "V1 a 0 {vdd}\n"
+      "R1 a b {2*1k}\n"
+      "R2 b 0 2k\n");
+  EXPECT_DOUBLE_EQ(parsed.parameters.at("half"), 1.25);
+  auto* r1 = dynamic_cast<dev::Resistor*>(parsed.circuit.find_device("R1"));
+  ASSERT_NE(r1, nullptr);
+  EXPECT_DOUBLE_EQ(r1->resistance(), 2000.0);
+}
+
+TEST(Netlist, AllDeviceCardsParse) {
+  auto parsed = parse_netlist(
+      "V1 vdd 0 DC 3.3\n"
+      "I1 vdd n1 10u\n"
+      "R1 n1 0 1k\n"
+      "C1 n1 0 1p\n"
+      "L1 n1 n2 10u\n"
+      "E1 n3 0 n1 0 2.0\n"
+      "G1 n4 0 n1 0 1m\n"
+      "D1 n2 0 IS=1e-14\n"
+      "M1 n5 n1 0 0 NMOS W=2u L=0.5u\n"
+      "M2 n5 n1 vdd vdd PMOS W=4u L=0.5u\n"
+      "S1 n5 n6 n1 0 VT=1.0 RON=10\n"
+      "X1 n6 0 OXRAM GAP=0.5n\n");
+  EXPECT_EQ(parsed.device_names.size(), 12u);
+  for (const auto& name : parsed.device_names) {
+    EXPECT_NE(parsed.circuit.find_device(name), nullptr) << name;
+  }
+}
+
+TEST(Netlist, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("R1 a 0 1k\nQ1 a b c\n");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_netlist("R1 a 0\n"), InvalidArgumentError);     // missing value
+  EXPECT_THROW(parse_netlist("+ orphan\n"), InvalidArgumentError);   // bad continuation
+  EXPECT_THROW(parse_netlist("V1 a 0 TRIANGLE(1 2)\n"), InvalidArgumentError);
+  EXPECT_THROW(parse_netlist("M1 d g s b BJT\n"), InvalidArgumentError);
+  EXPECT_THROW(parse_netlist("X1 a b NOTOXRAM\n"), InvalidArgumentError);
+  EXPECT_THROW(parse_netlist(".model foo\n"), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// parsed circuits must solve like hand-built ones
+// ---------------------------------------------------------------------------
+
+TEST(Netlist, VoltageDividerSolves) {
+  auto parsed = parse_netlist(
+      "* divider\n"
+      "V1 in 0 10\n"
+      "R1 in mid 1k\n"
+      "R2 mid 0 3k\n");
+  MnaSystem system(parsed.circuit);
+  const auto result = solve_dc(system);
+  ASSERT_TRUE(result.converged);
+  const int mid = parsed.circuit.node_index("mid");
+  EXPECT_NEAR(result.solution[static_cast<std::size_t>(mid)], 7.5, 1e-6);
+}
+
+TEST(Netlist, CmosInverterFromText) {
+  auto parsed = parse_netlist(
+      ".param vdd=3.3\n"
+      "VDD vdd 0 {vdd}\n"
+      "VIN in 0 0\n"
+      "M1 out in vdd vdd PMOS W=4u L=0.5u\n"
+      "M2 out in 0 0 NMOS W=2u L=0.5u\n");
+  MnaSystem system(parsed.circuit);
+  const auto result = solve_dc(system);
+  ASSERT_TRUE(result.converged);
+  const int out = parsed.circuit.node_index("out");
+  EXPECT_GT(result.solution[static_cast<std::size_t>(out)], 3.2);
+}
+
+TEST(Netlist, RcTransientFromText) {
+  auto parsed = parse_netlist(
+      "VIN in 0 PULSE(0 1 0 1n 1n 1m)\n"
+      "R1 in out 1k\n"
+      "C1 out 0 1n\n");
+  MnaSystem system(parsed.circuit);
+  TransientOptions options;
+  options.t_stop = 1e-6;  // one time constant
+  options.dt_max = 5e-9;
+  const int out = parsed.circuit.node_index("out");
+  std::vector<Probe> probes = {{"v", [out](double, std::span<const double> x) {
+                                  return x[static_cast<std::size_t>(out)];
+                                }}};
+  const auto result = run_transient(system, options, probes);
+  EXPECT_NEAR(result.probe_values[0].back(), 1.0 - std::exp(-1.0), 5e-3);
+}
+
+TEST(Netlist, OxramCellResetsFromText) {
+  // RESET polarity: BE driven positive; the parsed cell must move to HRS.
+  auto parsed = parse_netlist(
+      "VBE be 0 PULSE(0 1.3 0 10n 10n 2u)\n"
+      "X1 0 be OXRAM GAP=0.25n\n");
+  auto* cell = dynamic_cast<oxram::OxramDevice*>(parsed.circuit.find_device("X1"));
+  ASSERT_NE(cell, nullptr);
+  MnaSystem system(parsed.circuit);
+  TransientOptions options;
+  options.t_stop = 2.2e-6;
+  options.dt_max = 10e-9;
+  run_transient(system, options);
+  EXPECT_GT(cell->resistance(0.3), 1e6);
+}
+
+TEST(Netlist, VirginOxramDefaultsToVirginGap) {
+  auto parsed = parse_netlist("X1 a 0 OXRAM VIRGIN=1\n");
+  auto* cell = dynamic_cast<oxram::OxramDevice*>(parsed.circuit.find_device("X1"));
+  ASSERT_NE(cell, nullptr);
+  EXPECT_TRUE(cell->virgin());
+  EXPECT_DOUBLE_EQ(cell->gap(), oxram::OxramParams{}.g_virgin);
+}
+
+}  // namespace
+}  // namespace oxmlc::spice
+
+// Appended coverage: F/H cards.
+namespace oxmlc::spice {
+namespace {
+
+TEST(Netlist, CurrentControlledCards) {
+  auto parsed = parse_netlist(
+      "Vs a 0 1.0\n"
+      "R1 a 0 1k\n"
+      "F1 0 fo Vs 2.0\n"
+      "RF fo 0 1k\n"
+      "H1 ho 0 Vs 1k\n"
+      "RH ho 0 1meg\n");
+  MnaSystem system(parsed.circuit);
+  const auto result = solve_dc(system);
+  ASSERT_TRUE(result.converged);
+  // Same sign conventions as the ControlledSources device tests.
+  EXPECT_NEAR(result.solution[static_cast<std::size_t>(parsed.circuit.node_index("fo"))],
+              -2.0, 1e-6);
+  EXPECT_NEAR(result.solution[static_cast<std::size_t>(parsed.circuit.node_index("ho"))],
+              -1.0, 1e-6);
+}
+
+TEST(Netlist, CurrentControlledCardNeedsEarlierSensor) {
+  EXPECT_THROW(parse_netlist("F1 0 out Vmissing 2.0\nR1 out 0 1k\n"),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace oxmlc::spice

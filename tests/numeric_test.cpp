@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/dense_matrix.hpp"
+#include "numeric/newton.hpp"
+#include "numeric/ode.hpp"
+#include "numeric/sparse_lu.hpp"
+#include "numeric/sparse_matrix.hpp"
+#include "numeric/vec.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace oxmlc::num {
+namespace {
+
+// ---------------------------------------------------------------------------
+// vec helpers
+// ---------------------------------------------------------------------------
+
+TEST(Vec, DotAndNorms) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(norm_inf(b), 6.0);
+  EXPECT_DOUBLE_EQ(norm2(a), std::sqrt(14.0));
+}
+
+TEST(Vec, AxpyAccumulates) {
+  const std::vector<double> x = {1.0, 1.0};
+  std::vector<double> y = {1.0, 2.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+}
+
+TEST(Vec, WeightedRmsConvergenceSemantics) {
+  const std::vector<double> delta = {1e-9, 1e-9};
+  const std::vector<double> reference = {1.0, 1.0};
+  // Tiny update relative to tolerance => << 1 (converged).
+  EXPECT_LT(weighted_rms(delta, reference, 1e-6, 1e-9), 1.1);
+  const std::vector<double> big = {1.0, 1.0};
+  EXPECT_GT(weighted_rms(big, reference, 1e-6, 1e-9), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// dense LU
+// ---------------------------------------------------------------------------
+
+TEST(DenseLu, SolvesKnownSystem) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  DenseLu lu;
+  lu.factorize(a);
+  const std::vector<double> b = {5.0, 10.0};
+  std::vector<double> x(2);
+  lu.solve(b, x);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseLu, RequiresPivoting) {
+  // Zero on the diagonal: fails without partial pivoting.
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 1.0;
+  DenseLu lu;
+  lu.factorize(a);
+  const std::vector<double> b = {2.0, 3.0};
+  std::vector<double> x(2);
+  lu.solve(b, x);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(DenseLu, SingularMatrixThrows) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  DenseLu lu;
+  EXPECT_THROW(lu.factorize(a), ConvergenceError);
+}
+
+TEST(DenseLu, RandomSystemsRoundTrip) {
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(30);
+    DenseMatrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.normal(0, 1);
+      a.at(r, r) += 3.0;  // diagonally dominant => well conditioned
+    }
+    std::vector<double> x_true(n), b(n);
+    for (auto& v : x_true) v = rng.normal(0, 1);
+    a.multiply(x_true, b);
+
+    DenseLu lu;
+    lu.factorize(a);
+    std::vector<double> x(n);
+    lu.solve(b, x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sparse matrix + LU
+// ---------------------------------------------------------------------------
+
+TEST(SparseMatrix, CoalescesDuplicates) {
+  TripletMatrix t(3);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.0);
+  t.add(1, 2, 5.0);
+  const CsrMatrix m = CsrMatrix::from_triplets(t);
+  EXPECT_EQ(m.nnz(), 2u);
+  const DenseMatrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 2), 5.0);
+}
+
+TEST(SparseMatrix, DropsExplicitZeros) {
+  TripletMatrix t(2);
+  t.add(0, 0, 0.0);
+  t.add(1, 1, 1.0);
+  EXPECT_EQ(CsrMatrix::from_triplets(t).nnz(), 1u);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  Rng rng(7);
+  TripletMatrix t(10);
+  for (int k = 0; k < 40; ++k) {
+    t.add(rng.uniform_index(10), rng.uniform_index(10), rng.normal(0, 1));
+  }
+  const CsrMatrix m = CsrMatrix::from_triplets(t);
+  const DenseMatrix d = m.to_dense();
+  std::vector<double> x(10), y_sparse(10), y_dense(10);
+  for (auto& v : x) v = rng.normal(0, 1);
+  m.multiply(x, y_sparse);
+  d.multiply(x, y_dense);
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-12);
+}
+
+TEST(SparseLu, MatchesDenseOnRandomSystems) {
+  Rng rng(33);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 5 + rng.uniform_index(60);
+    TripletMatrix t(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      t.add(r, r, 4.0 + rng.uniform());
+      for (int k = 0; k < 3; ++k) {
+        t.add(r, rng.uniform_index(n), rng.normal(0, 0.5));
+      }
+    }
+    const CsrMatrix m = CsrMatrix::from_triplets(t);
+
+    std::vector<double> x_true(n), b(n);
+    for (auto& v : x_true) v = rng.normal(0, 1);
+    m.multiply(x_true, b);
+
+    SparseLu lu;
+    lu.factorize(m);
+    std::vector<double> x(n);
+    lu.solve(b, x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(SparseLu, TridiagonalLadderExact) {
+  // The RC-ladder pattern the parasitic models produce.
+  const std::size_t n = 200;
+  TripletMatrix t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, 2.0);
+    if (i > 0) t.add(i, i - 1, -1.0);
+    if (i + 1 < n) t.add(i, i + 1, -1.0);
+  }
+  const CsrMatrix m = CsrMatrix::from_triplets(t);
+  std::vector<double> b(n, 0.0);
+  b[0] = 1.0;  // unit injection at one end
+  SparseLu lu;
+  lu.factorize(m);
+  std::vector<double> x(n);
+  lu.solve(b, x);
+  // Closed form: x_i = (n - i) / (n + 1).
+  for (std::size_t i = 0; i < n; i += 37) {
+    EXPECT_NEAR(x[i], static_cast<double>(n - i) / (n + 1), 1e-9);
+  }
+  // Fill stays linear in n for a tridiagonal system.
+  EXPECT_LT(lu.fill_nnz(), 4 * n);
+}
+
+TEST(LinearSolver, SwitchesBetweenBackends) {
+  for (std::size_t n : {std::size_t{8}, std::size_t{200}}) {
+    TripletMatrix t(n);
+    for (std::size_t i = 0; i < n; ++i) t.add(i, i, 2.0 + static_cast<double>(i % 3));
+    LinearSolver solver;
+    solver.factorize(t);
+    std::vector<double> b(n, 1.0), x(n);
+    solver.solve(b, x);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], 1.0 / (2.0 + static_cast<double>(i % 3)), 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Newton
+// ---------------------------------------------------------------------------
+
+// F(x) = [x0^2 + x1 - 3, x0 - x1 + 1]; root at (1, 2).
+class QuadraticSystem final : public NonlinearSystem {
+ public:
+  std::size_t dimension() const override { return 2; }
+  void assemble(std::span<const double> x, TripletMatrix& jacobian,
+                std::span<double> residual) override {
+    residual[0] = x[0] * x[0] + x[1] - 3.0;
+    residual[1] = x[0] - x[1] + 1.0;
+    jacobian.add(0, 0, 2.0 * x[0]);
+    jacobian.add(0, 1, 1.0);
+    jacobian.add(1, 0, 1.0);
+    jacobian.add(1, 1, -1.0);
+  }
+};
+
+TEST(Newton, ConvergesQuadratically) {
+  QuadraticSystem system;
+  std::vector<double> x = {3.0, 0.0};
+  const NewtonResult result = solve_newton(system, x);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(x[0], 1.0, 1e-8);
+  EXPECT_NEAR(x[1], 2.0, 1e-8);
+  EXPECT_LT(result.iterations, 15u);
+}
+
+// Stiff exponential (diode-like): F(x) = 1e-12 * (exp(x / 0.025) - 1) - 1e-3.
+class ExponentialSystem final : public NonlinearSystem {
+ public:
+  std::size_t dimension() const override { return 1; }
+  void assemble(std::span<const double> x, TripletMatrix& jacobian,
+                std::span<double> residual) override {
+    const double e = std::exp(std::min(x[0], 2.0) / 0.025);
+    residual[0] = 1e-12 * (e - 1.0) - 1e-3;
+    jacobian.add(0, 0, 1e-12 * e / 0.025);
+  }
+  double max_step(std::size_t) const override { return 0.1; }  // junction limiting
+};
+
+TEST(Newton, HandlesStiffExponentialWithStepLimiting) {
+  ExponentialSystem system;
+  std::vector<double> x = {0.0};
+  NewtonOptions options;
+  options.max_iterations = 400;
+  const NewtonResult result = solve_newton(system, x, options);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(x[0], 0.025 * std::log(1e9), 1e-6);
+}
+
+TEST(Newton, ReportsNonConvergence) {
+  // F(x) = x^2 + 1 has no real root.
+  class NoRoot final : public NonlinearSystem {
+   public:
+    std::size_t dimension() const override { return 1; }
+    void assemble(std::span<const double> x, TripletMatrix& jacobian,
+                  std::span<double> residual) override {
+      residual[0] = x[0] * x[0] + 1.0;
+      jacobian.add(0, 0, x[0] == 0.0 ? 1e-6 : 2.0 * x[0]);
+    }
+  };
+  NoRoot system;
+  std::vector<double> x = {2.0};
+  NewtonOptions options;
+  options.max_iterations = 30;
+  EXPECT_FALSE(solve_newton(system, x, options).converged);
+}
+
+// ---------------------------------------------------------------------------
+// ODE integration
+// ---------------------------------------------------------------------------
+
+TEST(Ode, ExponentialDecayMatchesAnalytic) {
+  const OdeRhs rhs = [](double, std::span<const double> y, std::span<double> dydt) {
+    dydt[0] = -2.0 * y[0];
+  };
+  const std::vector<double> y0 = {1.0};
+  OdeOptions options;
+  options.max_step = 0.05;
+  const OdeResult result = integrate_rk45(rhs, 0.0, 2.0, y0, options);
+  EXPECT_FALSE(result.event_fired);
+  EXPECT_NEAR(result.end_state[0], std::exp(-4.0), 1e-6);
+}
+
+TEST(Ode, HarmonicOscillatorEnergyConserved) {
+  const OdeRhs rhs = [](double, std::span<const double> y, std::span<double> dydt) {
+    dydt[0] = y[1];
+    dydt[1] = -y[0];
+  };
+  const std::vector<double> y0 = {1.0, 0.0};
+  OdeOptions options;
+  options.rel_tol = 1e-9;
+  options.abs_tol = 1e-12;
+  options.max_step = 0.05;
+  const OdeResult result = integrate_rk45(rhs, 0.0, 20.0, y0, options);
+  const double energy =
+      result.end_state[0] * result.end_state[0] + result.end_state[1] * result.end_state[1];
+  EXPECT_NEAR(energy, 1.0, 1e-5);
+}
+
+TEST(Ode, EventLocalizedAccurately) {
+  // y' = -y from 1; event when y - 0.5 crosses zero => t = ln 2.
+  const OdeRhs rhs = [](double, std::span<const double> y, std::span<double> dydt) {
+    dydt[0] = -y[0];
+  };
+  const OdeEvent event = [](double, std::span<const double> y) { return y[0] - 0.5; };
+  const std::vector<double> y0 = {1.0};
+  const OdeResult result = integrate_rk45(rhs, 0.0, 5.0, y0, OdeOptions{}, event);
+  ASSERT_TRUE(result.event_fired);
+  EXPECT_NEAR(result.end_time, std::log(2.0), 1e-4);
+  EXPECT_NEAR(result.end_state[0], 0.5, 1e-4);
+}
+
+TEST(Ode, Rk4MatchesRk45) {
+  const OdeRhs rhs = [](double t, std::span<const double> y, std::span<double> dydt) {
+    dydt[0] = std::sin(t) - 0.5 * y[0];
+  };
+  const std::vector<double> y0 = {0.3};
+  const OdeResult adaptive = integrate_rk45(rhs, 0.0, 3.0, y0);
+  const OdeResult fixed = integrate_rk4(rhs, 0.0, 3.0, y0, 1e-3);
+  EXPECT_NEAR(adaptive.end_state[0], fixed.end_state[0], 1e-5);
+}
+
+TEST(Ode, RejectsBadArguments) {
+  const OdeRhs rhs = [](double, std::span<const double>, std::span<double> dydt) {
+    dydt[0] = 0.0;
+  };
+  const std::vector<double> y0 = {1.0};
+  EXPECT_THROW(integrate_rk45(rhs, 1.0, 0.5, y0), InvalidArgumentError);
+  EXPECT_THROW(integrate_rk4(rhs, 0.0, 1.0, y0, -1.0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace oxmlc::num

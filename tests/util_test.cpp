@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/ascii_plot.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace oxmlc {
+namespace {
+
+using namespace oxmlc::literals;
+
+// ---------------------------------------------------------------------------
+// units
+// ---------------------------------------------------------------------------
+
+TEST(Units, LiteralsScaleCorrectly) {
+  EXPECT_DOUBLE_EQ(10.0_uA, 10e-6);
+  EXPECT_DOUBLE_EQ(152_kOhm, 152e3);
+  EXPECT_DOUBLE_EQ(3.5_us, 3.5e-6);
+  EXPECT_DOUBLE_EQ(1_pF, 1e-12);
+  EXPECT_DOUBLE_EQ(25_pJ, 25e-12);
+  EXPECT_DOUBLE_EQ(10_nm, 10e-9);
+  EXPECT_DOUBLE_EQ(0.3_V, 0.3);
+  EXPECT_DOUBLE_EQ(2.5_V, 2.5);
+}
+
+TEST(Units, ThermalVoltageAtRoomTemperature) {
+  EXPECT_NEAR(phys::kThermalVoltage300K, 0.02585, 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// error handling
+// ---------------------------------------------------------------------------
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    OXMLC_CHECK(1 == 2, "the answer is wrong");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("the answer is wrong"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw ConvergenceError("x"), Error);
+  EXPECT_THROW(throw InternalError("x"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndRange) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.uniform(2.0, 4.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.02);
+  EXPECT_GE(stats.min(), 2.0);
+  EXPECT_LT(stats.max(), 4.0);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositiveWithMatchingLogMoments) {
+  Rng rng(17);
+  RunningStats log_stats;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal(0.0, 0.2);
+    ASSERT_GT(x, 0.0);
+    log_stats.add(std::log(x));
+  }
+  EXPECT_NEAR(log_stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(log_stats.stddev(), 0.2, 0.01);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.truncated_normal(1.0, 0.5, 0.8, 1.2);
+    EXPECT_GE(x, 0.8);
+    EXPECT_LE(x, 1.2);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(23);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 400);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += child1.next_u64() == child2.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(55), b(55);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+// ---------------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Stats, RunningStatsMergeMatchesSequential) {
+  Rng rng(3);
+  RunningStats all, first, second;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(5.0, 3.0);
+    all.add(v);
+    (i < 500 ? first : second).add(v);
+  }
+  first.merge(second);
+  EXPECT_NEAR(first.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(first.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(first.count(), all.count());
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(sorted, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(sorted, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(sorted, 0.25), 1.75);
+}
+
+TEST(Stats, QuantileRejectsBadInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(quantile(empty, 0.5), InvalidArgumentError);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(quantile(one, 1.5), InvalidArgumentError);
+}
+
+TEST(Stats, BoxPlotSummaryIdentifiesOutliers) {
+  std::vector<double> values = {10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 100};
+  const BoxPlotSummary s = box_plot_summary(values);
+  EXPECT_EQ(s.count, values.size());
+  EXPECT_DOUBLE_EQ(s.maximum, 100.0);
+  ASSERT_EQ(s.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.outliers[0], 100.0);
+  EXPECT_LE(s.whisker_high, 19.0);
+  EXPECT_GE(s.q3, s.median);
+  EXPECT_GE(s.median, s.q1);
+}
+
+TEST(Stats, EmpiricalCdfIsMonotone) {
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(rng.normal(0, 1));
+  const EmpiricalCdf cdf = empirical_cdf(values);
+  ASSERT_EQ(cdf.x.size(), values.size());
+  EXPECT_DOUBLE_EQ(cdf.p.back(), 1.0);
+  for (std::size_t i = 1; i < cdf.x.size(); ++i) {
+    EXPECT_LE(cdf.x[i - 1], cdf.x[i]);
+    EXPECT_LT(cdf.p[i - 1], cdf.p[i]);
+  }
+}
+
+TEST(Stats, HistogramCountsAndClamps) {
+  const std::vector<double> values = {-5.0, 0.04, 0.04, 0.55, 0.85, 99.0};
+  const Histogram h = histogram(values, 0.0, 1.0, 10);
+  std::size_t total = 0;
+  for (auto c : h.counts) total += c;
+  EXPECT_EQ(total, values.size());
+  EXPECT_EQ(h.counts.front(), 1u + 2u);  // clamped -5.0 plus the two 0.04s
+  EXPECT_EQ(h.counts.back(), 1u);        // clamped 99.0
+  EXPECT_NEAR(h.bin_center(0), 0.05, 1e-12);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// table
+// ---------------------------------------------------------------------------
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"state", "IrefR (uA)", "RHRS (kOhm)"});
+  t.add_row({"1111", "6", "267"});
+  t.add_row({"0000", "36", "38.17"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1111"), std::string::npos);
+  EXPECT_NE(out.find("38.17"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgumentError);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, MarkdownHasSeparatorRow) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_markdown(os);
+  EXPECT_NE(os.str().find("---|"), std::string::npos);
+}
+
+TEST(Table, FormatSiPicksPrefixes) {
+  EXPECT_EQ(format_si(2.6e-6, "s", 3), "2.6 us");
+  EXPECT_EQ(format_si(152e3, "Ohm", 4), "152 kOhm");
+  EXPECT_EQ(format_si(0.0, "A"), "0 A");
+  EXPECT_EQ(format_si(25e-12, "J", 3), "25 pJ");
+}
+
+// ---------------------------------------------------------------------------
+// ascii plots (rendering sanity: no crashes, expected landmarks)
+// ---------------------------------------------------------------------------
+
+TEST(AsciiPlot, SeriesPlotContainsLegendAndAxes) {
+  Series s;
+  s.style = {"test-series", '*'};
+  for (int i = 0; i <= 10; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(i * i);
+  }
+  std::ostringstream os;
+  PlotOptions options;
+  options.title = "parabola";
+  options.x_label = "x";
+  options.y_label = "y";
+  plot_series(os, std::vector<Series>{s}, options);
+  EXPECT_NE(os.str().find("parabola"), std::string::npos);
+  EXPECT_NE(os.str().find("test-series"), std::string::npos);
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleSkipsNonPositive) {
+  Series s;
+  s.style = {"log", 'o'};
+  s.x = {0.0, 1.0, 10.0, 100.0};  // zero must be skipped on log axis
+  s.y = {1.0, 10.0, 100.0, 1000.0};
+  std::ostringstream os;
+  PlotOptions options;
+  options.x_scale = AxisScale::kLog10;
+  options.y_scale = AxisScale::kLog10;
+  EXPECT_NO_THROW(plot_series(os, std::vector<Series>{s}, options));
+}
+
+TEST(AsciiPlot, FlatSeriesStillRenders) {
+  Series s;
+  s.style = {"flat", '#'};
+  s.x = {0, 1, 2};
+  s.y = {5, 5, 5};
+  std::ostringstream os;
+  EXPECT_NO_THROW(plot_series(os, std::vector<Series>{s}, PlotOptions{}));
+}
+
+TEST(AsciiPlot, BoxLanesShowMedianMarker) {
+  std::vector<double> samples;
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.normal(100.0, 5.0));
+  BoxLane lane{"6 uA", box_plot_summary(samples)};
+  std::ostringstream os;
+  plot_boxes(os, std::vector<BoxLane>{lane}, BoxPlotOptions{});
+  EXPECT_NE(os.str().find('#'), std::string::npos);
+  EXPECT_NE(os.str().find("6 uA"), std::string::npos);
+}
+
+TEST(AsciiPlot, BarChartScalesToMax) {
+  std::vector<std::string> labels = {"a", "b"};
+  std::vector<double> values = {1.0, 2.0};
+  std::ostringstream os;
+  plot_bars(os, labels, values, BarChartOptions{});
+  EXPECT_NE(os.str().find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oxmlc

@@ -1,0 +1,246 @@
+// oxmlc_sim — command-line circuit simulator over the oxmlc MNA engine.
+//
+//   oxmlc_sim netlist.cir                        DC operating point
+//   oxmlc_sim --tran 5u netlist.cir              transient, all node voltages
+//   oxmlc_sim --tran 5u --dt-max 1n --probe out --probe bl
+//             --csv waves.csv netlist.cir        selected probes + CSV dump
+//   oxmlc_sim --plot out --tran 5u netlist.cir   ASCII waveform of one node
+//
+// The netlist dialect is documented in src/spice/netlist.hpp (R/C/L, V/I with
+// PULSE/PWL/SIN, E/G, D, M NMOS/PMOS, S switches, X OXRAM cells, .param
+// expressions).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spice/ac.hpp"
+#include "spice/dc.hpp"
+#include "spice/netlist.hpp"
+#include "devices/sources.hpp"
+#include "spice/transient.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace oxmlc;
+
+struct CliOptions {
+  std::string netlist_path;
+  bool transient = false;
+  bool ac = false;
+  double f_start = 1e3;
+  double f_stop = 1e9;
+  std::string ac_source;  // V source to excite with AC 1V
+  double t_stop = 1e-6;
+  double dt_max = 0.0;  // 0 = auto (t_stop / 1000)
+  std::vector<std::string> probes;
+  std::vector<std::string> plots;
+  std::string csv_path;
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr << "usage: oxmlc_sim [options] netlist.cir\n"
+               "  (no options)        DC operating point\n"
+               "  --tran <t_stop>     transient analysis to t_stop (SI suffixes ok)\n"
+               "  --ac <src> <f1> <f2>  AC sweep f1..f2 exciting V source <src>\n"
+               "  --dt-max <dt>       max transient step (default t_stop/1000)\n"
+               "  --probe <node>      record this node (repeatable; default: all)\n"
+               "  --plot <node>       ASCII-plot this node's waveform (repeatable)\n"
+               "  --csv <file>        write the recorded waveforms as CSV\n";
+  std::exit(2);
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--tran") {
+      options.transient = true;
+      options.t_stop = spice::parse_value(next());
+    } else if (arg == "--ac") {
+      options.ac = true;
+      options.ac_source = next();
+      options.f_start = spice::parse_value(next());
+      options.f_stop = spice::parse_value(next());
+    } else if (arg == "--dt-max") {
+      options.dt_max = spice::parse_value(next());
+    } else if (arg == "--probe") {
+      options.probes.push_back(next());
+    } else if (arg == "--plot") {
+      options.plots.push_back(next());
+    } else if (arg == "--csv") {
+      options.csv_path = next();
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage("unknown option " + arg);
+    } else if (options.netlist_path.empty()) {
+      options.netlist_path = arg;
+    } else {
+      usage("multiple netlist files given");
+    }
+  }
+  if (options.netlist_path.empty()) usage("no netlist file given");
+  return options;
+}
+
+int run_op(spice::ParsedNetlist& parsed) {
+  spice::MnaSystem system(parsed.circuit);
+  const spice::DcResult result = spice::solve_dc(system);
+  if (!result.converged) {
+    std::cerr << "DC operating point did not converge\n";
+    return 1;
+  }
+  std::cout << "DC operating point (" << result.strategy << ", "
+            << result.newton_iterations << " Newton iterations)\n";
+  Table t({"node", "voltage (V)"});
+  for (std::size_t n = 0; n < parsed.circuit.node_count(); ++n) {
+    t.add_row({parsed.circuit.node_name(static_cast<int>(n)),
+               format_scaled(result.solution[n], 1.0, 6)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int run_tran(spice::ParsedNetlist& parsed, const CliOptions& options) {
+  // Default probe set: every named node.
+  std::vector<std::string> probe_names = options.probes;
+  if (probe_names.empty()) {
+    for (std::size_t n = 0; n < parsed.circuit.node_count(); ++n) {
+      probe_names.push_back(parsed.circuit.node_name(static_cast<int>(n)));
+    }
+  }
+  std::vector<spice::Probe> probes;
+  for (const auto& name : probe_names) {
+    const int idx = parsed.circuit.node_index(name);  // throws on bad names
+    probes.push_back({name, [idx](double, std::span<const double> x) {
+                        return idx < 0 ? 0.0 : x[static_cast<std::size_t>(idx)];
+                      }});
+  }
+
+  spice::MnaSystem system(parsed.circuit);
+  spice::TransientOptions tran;
+  tran.t_stop = options.t_stop;
+  tran.dt_max = options.dt_max > 0.0 ? options.dt_max : options.t_stop / 1000.0;
+  const spice::TransientResult result = spice::run_transient(system, tran, probes);
+
+  std::cout << "transient: " << result.steps_accepted << " steps to "
+            << format_si(options.t_stop, "s", 3) << " ("
+            << result.newton_iterations << " Newton iterations)\n";
+
+  // Final values.
+  Table t({"probe", "final value (V)"});
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    t.add_row({probes[p].name, format_scaled(result.probe_values[p].back(), 1.0, 6)});
+  }
+  t.print(std::cout);
+
+  for (const auto& name : options.plots) {
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      if (probes[p].name != name) continue;
+      Series s{{name, '*'}, result.times, result.probe_values[p]};
+      PlotOptions plot;
+      plot.title = "v(" + name + ")";
+      plot.x_label = "t (s)";
+      plot.y_label = "V";
+      plot_series(std::cout, std::vector<Series>{s}, plot);
+    }
+  }
+
+  if (!options.csv_path.empty()) {
+    std::vector<std::string> header = {"t_s"};
+    for (const auto& probe : probes) header.push_back("v(" + probe.name + ")");
+    Table csv(header);
+    for (std::size_t k = 0; k < result.times.size(); ++k) {
+      std::vector<std::string> row = {std::to_string(result.times[k])};
+      for (std::size_t p = 0; p < probes.size(); ++p) {
+        row.push_back(std::to_string(result.probe_values[p][k]));
+      }
+      csv.add_row(std::move(row));
+    }
+    csv.write_csv_file(options.csv_path);
+    std::cout << "[csv written: " << options.csv_path << "]\n";
+  }
+  return 0;
+}
+
+int run_ac_cli(spice::ParsedNetlist& parsed, const CliOptions& options) {
+  auto* source =
+      dynamic_cast<dev::VoltageSource*>(parsed.circuit.find_device(options.ac_source));
+  if (source == nullptr) {
+    std::cerr << "AC source not found (must be a V card): " << options.ac_source << "\n";
+    return 1;
+  }
+  source->set_ac(1.0);
+
+  spice::MnaSystem system(parsed.circuit);
+  spice::AcOptions ac;
+  ac.f_start = options.f_start;
+  ac.f_stop = options.f_stop;
+  const spice::AcResult result = spice::run_ac(system, ac);
+  if (!result.converged) {
+    std::cerr << "AC analysis failed (operating point did not converge)\n";
+    return 1;
+  }
+
+  const std::vector<std::string> probe_names =
+      options.probes.empty()
+          ? std::vector<std::string>{parsed.circuit.node_name(0)}
+          : options.probes;
+  Table t({"f (Hz)", "probe", "|H| (dB)", "phase (deg)"});
+  for (const auto& name : probe_names) {
+    const int idx = parsed.circuit.node_index(name);
+    for (std::size_t k = 0; k < result.frequencies.size(); k += 10) {
+      t.add_row({format_si(result.frequencies[k], "Hz", 3), name,
+                 format_scaled(result.magnitude_db(k, idx), 1.0, 2),
+                 format_scaled(result.phase_deg(k, idx), 1.0, 1)});
+    }
+    for (const auto& plot_name : options.plots) {
+      if (plot_name != name) continue;
+      Series s{{"|v(" + name + ")|", '*'}, {}, {}};
+      for (std::size_t k = 0; k < result.frequencies.size(); ++k) {
+        s.x.push_back(result.frequencies[k]);
+        s.y.push_back(std::max(result.magnitude(k, idx), 1e-12));
+      }
+      PlotOptions plot;
+      plot.title = "|v(" + name + ")| vs frequency";
+      plot.x_scale = AxisScale::kLog10;
+      plot.y_scale = AxisScale::kLog10;
+      plot_series(std::cout, std::vector<Series>{s}, plot);
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions options = parse_cli(argc, argv);
+    std::ifstream file(options.netlist_path);
+    if (!file.good()) {
+      std::cerr << "cannot open netlist: " << options.netlist_path << "\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    spice::ParsedNetlist parsed = spice::parse_netlist(buffer.str());
+    if (!parsed.title.empty()) std::cout << "*" << parsed.title << "\n";
+
+    if (options.ac) return run_ac_cli(parsed, options);
+    return options.transient ? run_tran(parsed, options) : run_op(parsed);
+  } catch (const oxmlc::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
