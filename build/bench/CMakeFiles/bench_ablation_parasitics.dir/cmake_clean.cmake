@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parasitics.dir/bench_ablation_parasitics.cpp.o"
+  "CMakeFiles/bench_ablation_parasitics.dir/bench_ablation_parasitics.cpp.o.d"
+  "bench_ablation_parasitics"
+  "bench_ablation_parasitics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parasitics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

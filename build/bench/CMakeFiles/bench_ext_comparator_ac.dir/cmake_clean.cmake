@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_comparator_ac.dir/bench_ext_comparator_ac.cpp.o"
+  "CMakeFiles/bench_ext_comparator_ac.dir/bench_ext_comparator_ac.cpp.o.d"
+  "bench_ext_comparator_ac"
+  "bench_ext_comparator_ac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_comparator_ac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pcm.dir/bench_ext_pcm.cpp.o"
+  "CMakeFiles/bench_ext_pcm.dir/bench_ext_pcm.cpp.o.d"
+  "bench_ext_pcm"
+  "bench_ext_pcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mc_boxplots.dir/bench_fig11_mc_boxplots.cpp.o"
+  "CMakeFiles/bench_fig11_mc_boxplots.dir/bench_fig11_mc_boxplots.cpp.o.d"
+  "bench_fig11_mc_boxplots"
+  "bench_fig11_mc_boxplots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mc_boxplots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_margin_sigma.dir/bench_fig12_margin_sigma.cpp.o"
+  "CMakeFiles/bench_fig12_margin_sigma.dir/bench_fig12_margin_sigma.cpp.o.d"
+  "bench_fig12_margin_sigma"
+  "bench_fig12_margin_sigma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_margin_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hrs_vs_ic.dir/bench_fig8_hrs_vs_ic.cpp.o"
+  "CMakeFiles/bench_fig8_hrs_vs_ic.dir/bench_fig8_hrs_vs_ic.cpp.o.d"
+  "bench_fig8_hrs_vs_ic"
+  "bench_fig8_hrs_vs_ic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hrs_vs_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_read_refs.dir/bench_fig9_read_refs.cpp.o"
+  "CMakeFiles/bench_fig9_read_refs.dir/bench_fig9_read_refs.cpp.o.d"
+  "bench_fig9_read_refs"
+  "bench_fig9_read_refs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_read_refs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

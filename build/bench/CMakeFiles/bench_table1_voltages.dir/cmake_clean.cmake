@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_voltages.dir/bench_table1_voltages.cpp.o"
+  "CMakeFiles/bench_table1_voltages.dir/bench_table1_voltages.cpp.o.d"
+  "bench_table1_voltages"
+  "bench_table1_voltages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_voltages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_word_parallel.dir/bench_word_parallel.cpp.o"
+  "CMakeFiles/bench_word_parallel.dir/bench_word_parallel.cpp.o.d"
+  "bench_word_parallel"
+  "bench_word_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_word_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/circuit_playground.cpp" "examples/CMakeFiles/circuit_playground.dir/circuit_playground.cpp.o" "gcc" "examples/CMakeFiles/circuit_playground.dir/circuit_playground.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mlc/CMakeFiles/oxmlc_mlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/oxmlc_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/oxmlc_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/oxram/CMakeFiles/oxmlc_oxram.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/oxmlc_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/oxmlc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/oxmlc_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oxmlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

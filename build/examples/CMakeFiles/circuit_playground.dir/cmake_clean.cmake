@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_playground.dir/circuit_playground.cpp.o"
+  "CMakeFiles/circuit_playground.dir/circuit_playground.cpp.o.d"
+  "circuit_playground"
+  "circuit_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

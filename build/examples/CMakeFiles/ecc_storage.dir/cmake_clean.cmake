@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_storage.dir/ecc_storage.cpp.o"
+  "CMakeFiles/ecc_storage.dir/ecc_storage.cpp.o.d"
+  "ecc_storage"
+  "ecc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

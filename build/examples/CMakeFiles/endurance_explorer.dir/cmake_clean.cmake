@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endurance_explorer.dir/endurance_explorer.cpp.o"
+  "CMakeFiles/endurance_explorer.dir/endurance_explorer.cpp.o.d"
+  "endurance_explorer"
+  "endurance_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endurance_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

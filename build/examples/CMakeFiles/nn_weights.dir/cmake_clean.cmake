@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_weights.dir/nn_weights.cpp.o"
+  "CMakeFiles/nn_weights.dir/nn_weights.cpp.o.d"
+  "nn_weights"
+  "nn_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlc_storage.dir/qlc_storage.cpp.o"
+  "CMakeFiles/qlc_storage.dir/qlc_storage.cpp.o.d"
+  "qlc_storage"
+  "qlc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

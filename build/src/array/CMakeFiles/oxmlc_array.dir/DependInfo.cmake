@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/fast_array.cpp" "src/array/CMakeFiles/oxmlc_array.dir/fast_array.cpp.o" "gcc" "src/array/CMakeFiles/oxmlc_array.dir/fast_array.cpp.o.d"
+  "/root/repo/src/array/mismatch.cpp" "src/array/CMakeFiles/oxmlc_array.dir/mismatch.cpp.o" "gcc" "src/array/CMakeFiles/oxmlc_array.dir/mismatch.cpp.o.d"
+  "/root/repo/src/array/parasitics.cpp" "src/array/CMakeFiles/oxmlc_array.dir/parasitics.cpp.o" "gcc" "src/array/CMakeFiles/oxmlc_array.dir/parasitics.cpp.o.d"
+  "/root/repo/src/array/sense_amp.cpp" "src/array/CMakeFiles/oxmlc_array.dir/sense_amp.cpp.o" "gcc" "src/array/CMakeFiles/oxmlc_array.dir/sense_amp.cpp.o.d"
+  "/root/repo/src/array/termination.cpp" "src/array/CMakeFiles/oxmlc_array.dir/termination.cpp.o" "gcc" "src/array/CMakeFiles/oxmlc_array.dir/termination.cpp.o.d"
+  "/root/repo/src/array/word_path.cpp" "src/array/CMakeFiles/oxmlc_array.dir/word_path.cpp.o" "gcc" "src/array/CMakeFiles/oxmlc_array.dir/word_path.cpp.o.d"
+  "/root/repo/src/array/write_path.cpp" "src/array/CMakeFiles/oxmlc_array.dir/write_path.cpp.o" "gcc" "src/array/CMakeFiles/oxmlc_array.dir/write_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oxram/CMakeFiles/oxmlc_oxram.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/oxmlc_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/oxmlc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oxmlc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/oxmlc_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

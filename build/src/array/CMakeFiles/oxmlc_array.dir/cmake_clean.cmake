@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oxmlc_array.dir/fast_array.cpp.o"
+  "CMakeFiles/oxmlc_array.dir/fast_array.cpp.o.d"
+  "CMakeFiles/oxmlc_array.dir/mismatch.cpp.o"
+  "CMakeFiles/oxmlc_array.dir/mismatch.cpp.o.d"
+  "CMakeFiles/oxmlc_array.dir/parasitics.cpp.o"
+  "CMakeFiles/oxmlc_array.dir/parasitics.cpp.o.d"
+  "CMakeFiles/oxmlc_array.dir/sense_amp.cpp.o"
+  "CMakeFiles/oxmlc_array.dir/sense_amp.cpp.o.d"
+  "CMakeFiles/oxmlc_array.dir/termination.cpp.o"
+  "CMakeFiles/oxmlc_array.dir/termination.cpp.o.d"
+  "CMakeFiles/oxmlc_array.dir/word_path.cpp.o"
+  "CMakeFiles/oxmlc_array.dir/word_path.cpp.o.d"
+  "CMakeFiles/oxmlc_array.dir/write_path.cpp.o"
+  "CMakeFiles/oxmlc_array.dir/write_path.cpp.o.d"
+  "liboxmlc_array.a"
+  "liboxmlc_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oxmlc_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboxmlc_array.a"
+)

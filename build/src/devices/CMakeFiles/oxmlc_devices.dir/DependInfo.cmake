@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/diode.cpp" "src/devices/CMakeFiles/oxmlc_devices.dir/diode.cpp.o" "gcc" "src/devices/CMakeFiles/oxmlc_devices.dir/diode.cpp.o.d"
+  "/root/repo/src/devices/mosfet.cpp" "src/devices/CMakeFiles/oxmlc_devices.dir/mosfet.cpp.o" "gcc" "src/devices/CMakeFiles/oxmlc_devices.dir/mosfet.cpp.o.d"
+  "/root/repo/src/devices/passive.cpp" "src/devices/CMakeFiles/oxmlc_devices.dir/passive.cpp.o" "gcc" "src/devices/CMakeFiles/oxmlc_devices.dir/passive.cpp.o.d"
+  "/root/repo/src/devices/sources.cpp" "src/devices/CMakeFiles/oxmlc_devices.dir/sources.cpp.o" "gcc" "src/devices/CMakeFiles/oxmlc_devices.dir/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/oxmlc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/oxmlc_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oxmlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oxmlc_devices.dir/diode.cpp.o"
+  "CMakeFiles/oxmlc_devices.dir/diode.cpp.o.d"
+  "CMakeFiles/oxmlc_devices.dir/mosfet.cpp.o"
+  "CMakeFiles/oxmlc_devices.dir/mosfet.cpp.o.d"
+  "CMakeFiles/oxmlc_devices.dir/passive.cpp.o"
+  "CMakeFiles/oxmlc_devices.dir/passive.cpp.o.d"
+  "CMakeFiles/oxmlc_devices.dir/sources.cpp.o"
+  "CMakeFiles/oxmlc_devices.dir/sources.cpp.o.d"
+  "liboxmlc_devices.a"
+  "liboxmlc_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oxmlc_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

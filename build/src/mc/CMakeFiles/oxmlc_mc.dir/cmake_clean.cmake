@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oxmlc_mc.dir/runner.cpp.o"
+  "CMakeFiles/oxmlc_mc.dir/runner.cpp.o.d"
+  "liboxmlc_mc.a"
+  "liboxmlc_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oxmlc_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mlc/controller.cpp" "src/mlc/CMakeFiles/oxmlc_mlc.dir/controller.cpp.o" "gcc" "src/mlc/CMakeFiles/oxmlc_mlc.dir/controller.cpp.o.d"
+  "/root/repo/src/mlc/ecc.cpp" "src/mlc/CMakeFiles/oxmlc_mlc.dir/ecc.cpp.o" "gcc" "src/mlc/CMakeFiles/oxmlc_mlc.dir/ecc.cpp.o.d"
+  "/root/repo/src/mlc/levels.cpp" "src/mlc/CMakeFiles/oxmlc_mlc.dir/levels.cpp.o" "gcc" "src/mlc/CMakeFiles/oxmlc_mlc.dir/levels.cpp.o.d"
+  "/root/repo/src/mlc/margins.cpp" "src/mlc/CMakeFiles/oxmlc_mlc.dir/margins.cpp.o" "gcc" "src/mlc/CMakeFiles/oxmlc_mlc.dir/margins.cpp.o.d"
+  "/root/repo/src/mlc/mc_study.cpp" "src/mlc/CMakeFiles/oxmlc_mlc.dir/mc_study.cpp.o" "gcc" "src/mlc/CMakeFiles/oxmlc_mlc.dir/mc_study.cpp.o.d"
+  "/root/repo/src/mlc/program.cpp" "src/mlc/CMakeFiles/oxmlc_mlc.dir/program.cpp.o" "gcc" "src/mlc/CMakeFiles/oxmlc_mlc.dir/program.cpp.o.d"
+  "/root/repo/src/mlc/projections.cpp" "src/mlc/CMakeFiles/oxmlc_mlc.dir/projections.cpp.o" "gcc" "src/mlc/CMakeFiles/oxmlc_mlc.dir/projections.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/array/CMakeFiles/oxmlc_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/oxram/CMakeFiles/oxmlc_oxram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/oxmlc_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oxmlc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/oxmlc_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/oxmlc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/oxmlc_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

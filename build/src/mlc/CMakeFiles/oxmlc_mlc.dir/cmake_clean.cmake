@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oxmlc_mlc.dir/controller.cpp.o"
+  "CMakeFiles/oxmlc_mlc.dir/controller.cpp.o.d"
+  "CMakeFiles/oxmlc_mlc.dir/ecc.cpp.o"
+  "CMakeFiles/oxmlc_mlc.dir/ecc.cpp.o.d"
+  "CMakeFiles/oxmlc_mlc.dir/levels.cpp.o"
+  "CMakeFiles/oxmlc_mlc.dir/levels.cpp.o.d"
+  "CMakeFiles/oxmlc_mlc.dir/margins.cpp.o"
+  "CMakeFiles/oxmlc_mlc.dir/margins.cpp.o.d"
+  "CMakeFiles/oxmlc_mlc.dir/mc_study.cpp.o"
+  "CMakeFiles/oxmlc_mlc.dir/mc_study.cpp.o.d"
+  "CMakeFiles/oxmlc_mlc.dir/program.cpp.o"
+  "CMakeFiles/oxmlc_mlc.dir/program.cpp.o.d"
+  "CMakeFiles/oxmlc_mlc.dir/projections.cpp.o"
+  "CMakeFiles/oxmlc_mlc.dir/projections.cpp.o.d"
+  "liboxmlc_mlc.a"
+  "liboxmlc_mlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oxmlc_mlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oxmlc_numeric.dir/complex_lu.cpp.o"
+  "CMakeFiles/oxmlc_numeric.dir/complex_lu.cpp.o.d"
+  "CMakeFiles/oxmlc_numeric.dir/dense_matrix.cpp.o"
+  "CMakeFiles/oxmlc_numeric.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/oxmlc_numeric.dir/newton.cpp.o"
+  "CMakeFiles/oxmlc_numeric.dir/newton.cpp.o.d"
+  "CMakeFiles/oxmlc_numeric.dir/ode.cpp.o"
+  "CMakeFiles/oxmlc_numeric.dir/ode.cpp.o.d"
+  "CMakeFiles/oxmlc_numeric.dir/sparse_lu.cpp.o"
+  "CMakeFiles/oxmlc_numeric.dir/sparse_lu.cpp.o.d"
+  "CMakeFiles/oxmlc_numeric.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/oxmlc_numeric.dir/sparse_matrix.cpp.o.d"
+  "liboxmlc_numeric.a"
+  "liboxmlc_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oxmlc_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

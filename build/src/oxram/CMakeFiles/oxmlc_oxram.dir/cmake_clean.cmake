@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oxmlc_oxram.dir/device.cpp.o"
+  "CMakeFiles/oxmlc_oxram.dir/device.cpp.o.d"
+  "CMakeFiles/oxmlc_oxram.dir/fast_cell.cpp.o"
+  "CMakeFiles/oxmlc_oxram.dir/fast_cell.cpp.o.d"
+  "CMakeFiles/oxmlc_oxram.dir/model.cpp.o"
+  "CMakeFiles/oxmlc_oxram.dir/model.cpp.o.d"
+  "CMakeFiles/oxmlc_oxram.dir/presets.cpp.o"
+  "CMakeFiles/oxmlc_oxram.dir/presets.cpp.o.d"
+  "liboxmlc_oxram.a"
+  "liboxmlc_oxram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oxmlc_oxram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

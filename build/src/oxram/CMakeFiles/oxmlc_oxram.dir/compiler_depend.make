@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for oxmlc_oxram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for oxmlc_oxram.
+# This may be replaced when dependencies are built.

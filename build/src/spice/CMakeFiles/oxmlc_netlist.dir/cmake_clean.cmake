@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oxmlc_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/oxmlc_netlist.dir/netlist.cpp.o.d"
+  "liboxmlc_netlist.a"
+  "liboxmlc_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oxmlc_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

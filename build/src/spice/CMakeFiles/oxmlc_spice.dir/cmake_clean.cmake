@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oxmlc_spice.dir/ac.cpp.o"
+  "CMakeFiles/oxmlc_spice.dir/ac.cpp.o.d"
+  "CMakeFiles/oxmlc_spice.dir/circuit.cpp.o"
+  "CMakeFiles/oxmlc_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/oxmlc_spice.dir/dc.cpp.o"
+  "CMakeFiles/oxmlc_spice.dir/dc.cpp.o.d"
+  "CMakeFiles/oxmlc_spice.dir/mna.cpp.o"
+  "CMakeFiles/oxmlc_spice.dir/mna.cpp.o.d"
+  "CMakeFiles/oxmlc_spice.dir/transient.cpp.o"
+  "CMakeFiles/oxmlc_spice.dir/transient.cpp.o.d"
+  "CMakeFiles/oxmlc_spice.dir/waveform.cpp.o"
+  "CMakeFiles/oxmlc_spice.dir/waveform.cpp.o.d"
+  "liboxmlc_spice.a"
+  "liboxmlc_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oxmlc_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

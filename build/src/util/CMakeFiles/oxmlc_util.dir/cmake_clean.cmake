@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oxmlc_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/oxmlc_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/oxmlc_util.dir/error.cpp.o"
+  "CMakeFiles/oxmlc_util.dir/error.cpp.o.d"
+  "CMakeFiles/oxmlc_util.dir/logging.cpp.o"
+  "CMakeFiles/oxmlc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/oxmlc_util.dir/rng.cpp.o"
+  "CMakeFiles/oxmlc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/oxmlc_util.dir/stats.cpp.o"
+  "CMakeFiles/oxmlc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/oxmlc_util.dir/table.cpp.o"
+  "CMakeFiles/oxmlc_util.dir/table.cpp.o.d"
+  "liboxmlc_util.a"
+  "liboxmlc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oxmlc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_coverage_test.dir/extended_coverage_test.cpp.o"
+  "CMakeFiles/extended_coverage_test.dir/extended_coverage_test.cpp.o.d"
+  "extended_coverage_test"
+  "extended_coverage_test.pdb"
+  "extended_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlc_test.dir/mlc_test.cpp.o"
+  "CMakeFiles/mlc_test.dir/mlc_test.cpp.o.d"
+  "mlc_test"
+  "mlc_test.pdb"
+  "mlc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

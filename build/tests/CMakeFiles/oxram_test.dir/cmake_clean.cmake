@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oxram_test.dir/oxram_test.cpp.o"
+  "CMakeFiles/oxram_test.dir/oxram_test.cpp.o.d"
+  "oxram_test"
+  "oxram_test.pdb"
+  "oxram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oxram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

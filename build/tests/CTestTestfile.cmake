@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/numeric_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_test[1]_include.cmake")
+include("/root/repo/build/tests/devices_test[1]_include.cmake")
+include("/root/repo/build/tests/oxram_test[1]_include.cmake")
+include("/root/repo/build/tests/array_test[1]_include.cmake")
+include("/root/repo/build/tests/mlc_test[1]_include.cmake")
+include("/root/repo/build/tests/mc_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/word_path_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/ac_test[1]_include.cmake")
+include("/root/repo/build/tests/extended_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/ecc_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")

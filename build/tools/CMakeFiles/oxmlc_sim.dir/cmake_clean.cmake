@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oxmlc_sim.dir/oxmlc_sim.cpp.o"
+  "CMakeFiles/oxmlc_sim.dir/oxmlc_sim.cpp.o.d"
+  "oxmlc_sim"
+  "oxmlc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oxmlc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
