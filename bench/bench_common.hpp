@@ -15,6 +15,8 @@
 #include <iostream>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
 #include "util/table.hpp"
 
 namespace oxmlc::bench {
@@ -38,6 +40,19 @@ inline void save_csv(const Table& table, const std::string& name) {
   const std::string path = csv_path(name);
   table.write_csv_file(path);
   std::cout << " [csv written: " << path << "]\n";
+
+  // Telemetry sidecar: alongside every CSV artifact, dump the observability
+  // registry (solver counters, MC throughput, program statistics) so bench
+  // runs are machine-comparable across commits — the baseline every perf PR
+  // proves itself against. `<name>.csv -> <name>.metrics.json`.
+  std::string metrics_name = name;
+  const std::size_t dot = metrics_name.rfind(".csv");
+  if (dot != std::string::npos && dot == metrics_name.size() - 4) {
+    metrics_name.resize(dot);
+  }
+  const std::string metrics_path = csv_path(metrics_name + ".metrics.json");
+  obs::write_metrics_json(metrics_path);
+  std::cout << " [metrics written: " << metrics_path << "]\n";
 }
 
 // Trial-count override: benches accept `--trials N` to trade depth for time.

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Deterministic source hygiene check, run by the CI "format" job and usable
+# locally (no toolchain needed beyond grep):
+#
+#   * no tab characters in C++ sources (the tree is 2-space indented)
+#   * no trailing whitespace
+#   * no CRLF line endings
+#   * every source file ends with exactly one newline
+#
+# If clang-format is on PATH, additionally reports (without failing the build
+# yet — adoption is incremental, see .clang-format) any file that deviates
+# from the committed style. Pass --strict-clang-format to turn those reports
+# into failures once a directory has been fully migrated.
+set -u
+
+STRICT_CLANG_FORMAT=0
+if [[ "${1:-}" == "--strict-clang-format" ]]; then
+  STRICT_CLANG_FORMAT=1
+fi
+
+cd "$(dirname "$0")/.."
+
+mapfile -t FILES < <(git ls-files \
+  'src/**/*.cpp' 'src/**/*.hpp' \
+  'tests/*.cpp' 'tools/*.cpp' 'bench/*.cpp' 'bench/*.hpp' 'examples/*.cpp')
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "check_format: no source files found (run from a git checkout)" >&2
+  exit 2
+fi
+
+status=0
+
+report() {
+  echo "format error: $1" >&2
+  status=1
+}
+
+for f in "${FILES[@]}"; do
+  if grep -q -P '\t' "$f"; then
+    report "$f: contains tab characters"
+  fi
+  if grep -q -P ' +$' "$f"; then
+    report "$f: trailing whitespace"
+  fi
+  if grep -q -P '\r' "$f"; then
+    report "$f: CRLF line endings"
+  fi
+  if [[ -s "$f" && -n "$(tail -c 1 "$f")" ]]; then
+    report "$f: missing final newline"
+  fi
+done
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "clang-format $(clang-format --version | grep -oE '[0-9]+\.[0-9.]+' | head -1) style report:"
+  drift=0
+  for f in "${FILES[@]}"; do
+    if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+      echo "  style drift: $f"
+      drift=$((drift + 1))
+    fi
+  done
+  echo "  $drift of ${#FILES[@]} files deviate from .clang-format"
+  if [[ $STRICT_CLANG_FORMAT -eq 1 && $drift -gt 0 ]]; then
+    status=1
+  fi
+else
+  echo "clang-format not found; skipping style report"
+fi
+
+if [[ $status -eq 0 ]]; then
+  echo "check_format: OK (${#FILES[@]} files)"
+fi
+exit $status

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "devices/passive.hpp"
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace oxmlc::array {
@@ -80,10 +81,18 @@ double TerminationBehavior::iref_sigma_rel(double iref) const {
 }
 
 double TerminationBehavior::sample_effective_iref(double iref, Rng& rng) const {
+  static obs::Counter& samples =
+      obs::registry().counter("termination.mismatch_samples");
+  // Relative reference error per draw, in percent: the quantity Fig. 12's
+  // margin budget is spent on.
+  static obs::Histogram& error_pct =
+      obs::registry().histogram("termination.iref_error_pct", -15.0, 15.0, 30);
   const double sigma = iref_sigma_rel(iref);
   // Truncate at 4 sigma and at half/double the nominal so a rare tail draw
   // cannot produce a nonphysical (negative or runaway) reference.
   const double factor = rng.truncated_normal(1.0, sigma, 0.5, 2.0);
+  samples.add();
+  error_pct.observe((factor - 1.0) * 100.0);
   return iref * factor;
 }
 

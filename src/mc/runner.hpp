@@ -5,14 +5,37 @@
 // property that makes the EXPERIMENTS.md numbers reproducible.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace oxmlc::mc {
+
+namespace detail {
+
+// Telemetry shared by every run_trials instantiation. Recording is wait-free
+// and touches no trial state, so the determinism contract (results depend on
+// (seed, index) only) is unaffected.
+struct RunnerMetrics {
+  obs::Counter& runs = obs::registry().counter("mc.runs");
+  obs::Counter& trials = obs::registry().counter("mc.trials");
+  obs::Gauge& threads = obs::registry().gauge("mc.threads");
+  obs::Gauge& throughput = obs::registry().gauge("mc.trials_per_second");
+  obs::Timer& trial_time = obs::registry().timer("mc.trial_time");
+  obs::Timer& run_time = obs::registry().timer("mc.run_time");
+
+  static RunnerMetrics& get() {
+    static RunnerMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace detail
 
 struct McOptions {
   std::size_t trials = 500;  // the paper's MC depth (500 runs per level)
@@ -34,25 +57,43 @@ std::vector<Sample> run_trials(const McOptions& options,
                                         : std::max(1u, std::thread::hardware_concurrency());
   threads = std::min<std::size_t>(threads, options.trials ? options.trials : 1);
 
+  detail::RunnerMetrics& metrics = detail::RunnerMetrics::get();
+  metrics.runs.add();
+  metrics.trials.add(options.trials);
+  metrics.threads.set(static_cast<double>(threads));
+  const auto run_start = std::chrono::steady_clock::now();
+  obs::ScopedTimer run_timer(metrics.run_time);
+
+  const auto timed_trial = [&](std::size_t i, Rng& rng) {
+    obs::ScopedTimer trial_timer(metrics.trial_time);
+    return trial(i, rng);
+  };
+
   if (threads <= 1) {
     for (std::size_t i = 0; i < options.trials; ++i) {
       Rng rng = trial_rng(options.seed, i);
-      samples[i] = trial(i, rng);
+      samples[i] = timed_trial(i, rng);
     }
-    return samples;
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (std::size_t i = t; i < options.trials; i += threads) {
+          Rng rng = trial_rng(options.seed, i);
+          samples[i] = timed_trial(i, rng);
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
   }
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&, t] {
-      for (std::size_t i = t; i < options.trials; i += threads) {
-        Rng rng = trial_rng(options.seed, i);
-        samples[i] = trial(i, rng);
-      }
-    });
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+          .count();
+  if (elapsed > 0.0 && options.trials > 0) {
+    metrics.throughput.set(static_cast<double>(options.trials) / elapsed);
   }
-  for (auto& worker : pool) worker.join();
   return samples;
 }
 

@@ -2,10 +2,57 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace oxmlc::mlc {
+namespace {
+
+// Per-level program telemetry. Levels are few (<= 64 for the 6-bit
+// projection), so the name table is built lazily per level value.
+struct ProgramLevelMetrics {
+  obs::Counter& pulses;
+  obs::Counter& terminated;
+  obs::Counter& timeouts;
+
+  static ProgramLevelMetrics get(std::size_t level) {
+    const std::string prefix = "mlc.program.level" + std::to_string(level);
+    return ProgramLevelMetrics{obs::registry().counter(prefix + ".pulses"),
+                               obs::registry().counter(prefix + ".terminated"),
+                               obs::registry().counter(prefix + ".timeouts")};
+  }
+};
+
+struct ProgramMetrics {
+  obs::Counter& operations = obs::registry().counter("mlc.program.operations");
+  // RST latency (termination crossing time) in microseconds: the Fig. 13b
+  // quantity; the paper's span is ~0.4-4 us, the config plateau 12 us.
+  obs::Histogram& latency_us =
+      obs::registry().histogram("mlc.program.latency_us", 0.0, 12.0, 48);
+  obs::Timer& program_time = obs::registry().timer("mlc.program.time");
+
+  static ProgramMetrics& get() {
+    static ProgramMetrics metrics;
+    return metrics;
+  }
+};
+
+struct VerifyMetrics {
+  obs::Counter& operations = obs::registry().counter("mlc.verify.operations");
+  obs::Counter& reads = obs::registry().counter("mlc.verify.reads");
+  obs::Counter& pulses = obs::registry().counter("mlc.verify.pulses");
+  obs::Counter& set_retries = obs::registry().counter("mlc.verify.set_retries");
+  obs::Counter& gave_up = obs::registry().counter("mlc.verify.gave_up");
+
+  static VerifyMetrics& get() {
+    static VerifyMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 QlcConfig QlcConfig::paper_default(const CalibrationCurve& curve) {
   QlcConfig config;
@@ -61,6 +108,10 @@ QlcProgrammer::QlcProgrammer(QlcConfig config) : config_(std::move(config)) {
 ProgramOutcome QlcProgrammer::program(oxram::FastCell& cell, std::size_t level,
                                       Rng& rng) const {
   OXMLC_CHECK(level < config_.allocation.count(), "QlcProgrammer: level out of range");
+  ProgramMetrics& metrics = ProgramMetrics::get();
+  metrics.operations.add();
+  obs::ScopedTimer op_timer(metrics.program_time);
+
   ProgramOutcome outcome;
   outcome.level = level;
 
@@ -83,6 +134,11 @@ ProgramOutcome QlcProgrammer::program(oxram::FastCell& cell, std::size_t level,
   outcome.latency = reset_result.t_terminate;
   outcome.energy = reset_result.energy_source;
   outcome.resistance = cell.read(config_.v_read, config_.v_wl_read).r_cell;
+
+  const ProgramLevelMetrics level_metrics = ProgramLevelMetrics::get(level);
+  level_metrics.pulses.add(outcome.pulses);
+  (outcome.terminated ? level_metrics.terminated : level_metrics.timeouts).add();
+  metrics.latency_us.observe(outcome.latency * 1e6);
   return outcome;
 }
 
@@ -182,6 +238,9 @@ ProgramOutcome ProgramAndVerifyBaseline::program(oxram::FastCell& cell, std::siz
   const double lo_band = target * (1.0 - config_.band_tolerance);
   const double hi_band = target * (1.0 + config_.band_tolerance);
 
+  VerifyMetrics& metrics = VerifyMetrics::get();
+  metrics.operations.add();
+
   ProgramOutcome outcome;
   outcome.level = level;
   outcome.pulses = 0;
@@ -194,6 +253,7 @@ ProgramOutcome ProgramAndVerifyBaseline::program(oxram::FastCell& cell, std::siz
 
   for (std::size_t pulse = 0; pulse < config_.max_pulses; ++pulse) {
     const double r = cell.read().r_cell;
+    metrics.reads.add();
     outcome.energy += config_.read_energy;
     outcome.latency += 50e-9;  // verify-read cycle time
     if (r >= lo_band && r <= hi_band) {
@@ -201,9 +261,11 @@ ProgramOutcome ProgramAndVerifyBaseline::program(oxram::FastCell& cell, std::siz
       break;
     }
     ++outcome.pulses;
+    metrics.pulses.add();
     cell.set_rate_factor(sample_cycle_rate_factor(c2c, rng));
     if (r > hi_band) {
       // Overshoot: recover through SET and restart the staircase.
+      metrics.set_retries.add();
       const auto set_result = cell.apply_set(set_template_);
       outcome.energy += set_result.energy_source;
       outcome.latency += set_template_.pulse.rise + set_template_.pulse.width +
@@ -215,6 +277,7 @@ ProgramOutcome ProgramAndVerifyBaseline::program(oxram::FastCell& cell, std::siz
                          reset_template_.pulse.fall;
     }
   }
+  if (!outcome.terminated) metrics.gave_up.add();
   outcome.resistance = cell.read().r_cell;
   return outcome;
 }

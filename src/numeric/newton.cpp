@@ -4,15 +4,39 @@
 #include <cmath>
 
 #include "numeric/vec.hpp"
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace oxmlc::num {
+namespace {
+
+// Hot-path telemetry: references resolved once, then wait-free atomic adds.
+struct NewtonMetrics {
+  obs::Counter& solves = obs::registry().counter("newton.solves");
+  obs::Counter& iterations = obs::registry().counter("newton.iterations");
+  obs::Counter& factorizations = obs::registry().counter("newton.factorizations");
+  obs::Counter& assemblies = obs::registry().counter("newton.assemblies");
+  obs::Counter& damping_halvings = obs::registry().counter("newton.damping_halvings");
+  obs::Counter& failures = obs::registry().counter("newton.convergence_failures");
+  obs::Timer& solve_time = obs::registry().timer("newton.solve_time");
+
+  static NewtonMetrics& get() {
+    static NewtonMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
                           const NewtonOptions& options) {
   const std::size_t n = system.dimension();
   OXMLC_CHECK(x.size() == n, "solve_newton: initial guess has wrong dimension");
+
+  NewtonMetrics& metrics = NewtonMetrics::get();
+  metrics.solves.add();
+  obs::ScopedTimer solve_timer(metrics.solve_time);
 
   TripletMatrix jacobian(n);
   std::vector<double> residual(n, 0.0);
@@ -25,10 +49,12 @@ NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
 
   jacobian.clear();
   system.assemble(x, jacobian, residual);
+  metrics.assemblies.add();
   double residual_norm = norm_inf(residual);
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
+    metrics.iterations.add();
 
     if (residual_norm <= options.residual_tol && iter > 0 &&
         result.final_update_norm <= 1.0) {
@@ -38,6 +64,7 @@ NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
     }
 
     solver.factorize(jacobian);
+    metrics.factorizations.add();
     // Solve J dx = -F.
     for (std::size_t i = 0; i < n; ++i) residual[i] = -residual[i];
     solver.solve(residual, dx);
@@ -53,9 +80,11 @@ NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
     double best_scale = 1.0;
     double best_norm = std::numeric_limits<double>::infinity();
     for (std::size_t halving = 0; halving <= options.max_damping_halvings; ++halving) {
+      if (halving > 0) metrics.damping_halvings.add();
       for (std::size_t i = 0; i < n; ++i) x_trial[i] = x[i] + scale * dx[i];
       jacobian.clear();
       system.assemble(x_trial, jacobian, residual_trial);
+      metrics.assemblies.add();
       const double trial_norm = norm_inf(residual_trial);
       if (trial_norm < best_norm) {
         best_norm = trial_norm;
@@ -71,6 +100,7 @@ NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
       for (std::size_t i = 0; i < n; ++i) x_trial[i] = x[i] + best_scale * dx[i];
       jacobian.clear();
       system.assemble(x_trial, jacobian, residual_trial);
+      metrics.assemblies.add();
       best_norm = norm_inf(residual_trial);
     }
 
@@ -88,6 +118,7 @@ NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
   }
 
   result.final_residual_norm = residual_norm;
+  metrics.failures.add();
   OXMLC_DEBUG << "Newton failed to converge: residual=" << residual_norm
               << " after " << result.iterations << " iterations";
   return result;

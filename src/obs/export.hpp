@@ -1,0 +1,43 @@
+// Serialization of a MetricsSnapshot: JSON (structured, schema-tagged) and
+// CSV (flat, one row per scalar — convenient for spreadsheet diffing), plus
+// the inverse JSON reader used by tests and downstream tooling.
+//
+// JSON schema ("oxmlc.metrics.v1"):
+//   {
+//     "schema": "oxmlc.metrics.v1",
+//     "counters":   { "<name>": <u64>, ... },
+//     "gauges":     { "<name>": <double>, ... },
+//     "timers":     { "<name>": {"count","total_ns","min_ns","max_ns"}, ... },
+//     "histograms": { "<name>": {"lo","hi","count","sum","min","max",
+//                                "bins":[u64,...]}, ... }
+//   }
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace oxmlc::obs {
+
+inline constexpr const char* kMetricsSchema = "oxmlc.metrics.v1";
+
+Json to_json(const MetricsSnapshot& snapshot);
+
+// Inverse of to_json. Throws InvalidArgumentError on a missing/mismatched
+// schema tag or malformed sections.
+MetricsSnapshot snapshot_from_json(const Json& json);
+
+// Flat CSV: header "kind,name,field,value", one row per scalar field
+// ("histogram bins" flatten to bin0..binN-1 rows). Lossless for counters,
+// gauges and timers; histograms round-trip too since lo/hi/bins are emitted.
+std::string to_csv(const MetricsSnapshot& snapshot);
+
+// Writes `text` to `path`, creating parent directories. Throws IoError-style
+// oxmlc::Error on failure.
+void write_file(const std::string& path, const std::string& text);
+
+// Convenience: snapshot the global registry and write JSON to `path`.
+void write_metrics_json(const std::string& path, int indent = 2);
+
+}  // namespace oxmlc::obs

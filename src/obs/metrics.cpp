@@ -1,0 +1,126 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace oxmlc::obs {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double value) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value < expected && !target.compare_exchange_weak(expected, value,
+                                                           std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double value) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value > expected && !target.compare_exchange_weak(expected, value,
+                                                           std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_u64(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t expected = target.load(std::memory_order_relaxed);
+  while (value < expected && !target.compare_exchange_weak(expected, value,
+                                                           std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_u64(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t expected = target.load(std::memory_order_relaxed);
+  while (value > expected && !target.compare_exchange_weak(expected, value,
+                                                           std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi),
+      inv_width_(static_cast<double>(bins) / (hi - lo)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()),
+      bins_(bins) {
+  OXMLC_CHECK(hi > lo, "Histogram: hi must exceed lo");
+  OXMLC_CHECK(bins >= 1, "Histogram: need at least one bin");
+}
+
+void Histogram::observe(double value) {
+  if (!enabled() || std::isnan(value)) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, value);
+  atomic_min_double(min_, value);
+  atomic_max_double(max_, value);
+  const double pos = (value - lo_) * inv_width_;
+  std::size_t bin = 0;
+  if (pos >= static_cast<double>(bins_.size())) {
+    bin = bins_.size() - 1;
+  } else if (pos > 0.0) {
+    bin = static_cast<std::size_t>(pos);
+  }
+  bins_[bin].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.lo = lo_;
+  snap.hi = hi_;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count ? min_.load(std::memory_order_relaxed) : 0.0;
+  snap.max = snap.count ? max_.load(std::memory_order_relaxed) : 0.0;
+  snap.bins.reserve(bins_.size());
+  for (const auto& bin : bins_) snap.bins.push_back(bin.load(std::memory_order_relaxed));
+  return snap;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  for (auto& bin : bins_) bin.store(0, std::memory_order_relaxed);
+}
+
+void Timer::record_ns(std::uint64_t ns) {
+  if (!enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  atomic_min_u64(min_ns_, ns);
+  atomic_max_u64(max_ns_, ns);
+}
+
+Timer::Snapshot Timer::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.total_ns = total_ns_.load(std::memory_order_relaxed);
+  snap.min_ns = snap.count ? min_ns_.load(std::memory_order_relaxed) : 0;
+  snap.max_ns = max_ns_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Timer::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(~0ull, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace oxmlc::obs

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -13,10 +14,29 @@ num::NewtonResult attempt(MnaSystem& system, std::vector<double>& x,
   return num::solve_newton(system, x, newton);
 }
 
+struct DcMetrics {
+  obs::Counter& solves = obs::registry().counter("dc.solves");
+  obs::Counter& direct = obs::registry().counter("dc.strategy.direct");
+  obs::Counter& gmin_stepping = obs::registry().counter("dc.strategy.gmin_stepping");
+  obs::Counter& source_stepping =
+      obs::registry().counter("dc.strategy.source_stepping");
+  obs::Counter& failures = obs::registry().counter("dc.failures");
+  obs::Timer& solve_time = obs::registry().timer("dc.solve_time");
+
+  static DcMetrics& get() {
+    static DcMetrics metrics;
+    return metrics;
+  }
+};
+
 }  // namespace
 
 DcResult solve_dc(MnaSystem& system, const DcOptions& options,
                   const std::vector<double>* initial_guess) {
+  DcMetrics& metrics = DcMetrics::get();
+  metrics.solves.add();
+  obs::ScopedTimer solve_timer(metrics.solve_time);
+
   const std::size_t n = system.dimension();
   DcResult result;
   result.solution.assign(n, 0.0);
@@ -38,6 +58,7 @@ DcResult solve_dc(MnaSystem& system, const DcOptions& options,
   if (newton_result.converged) {
     result.converged = true;
     result.strategy = "direct";
+    metrics.direct.add();
     return result;
   }
 
@@ -68,6 +89,7 @@ DcResult solve_dc(MnaSystem& system, const DcOptions& options,
     if (ladder_ok && newton_result.converged) {
       result.converged = true;
       result.strategy = "gmin-stepping";
+      metrics.gmin_stepping.add();
       result.solution = std::move(x);
       return result;
     }
@@ -91,6 +113,7 @@ DcResult solve_dc(MnaSystem& system, const DcOptions& options,
     if (ok) {
       result.converged = true;
       result.strategy = "source-stepping";
+      metrics.source_stepping.add();
       result.solution = std::move(x);
       return result;
     }
@@ -100,6 +123,7 @@ DcResult solve_dc(MnaSystem& system, const DcOptions& options,
              << newton_result.final_residual_norm << ")";
   result.converged = false;
   result.strategy = "failed";
+  metrics.failures.add();
   return result;
 }
 

@@ -4,12 +4,34 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/registry.hpp"
 #include "spice/dc.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace oxmlc::spice {
 namespace {
+
+struct TransientMetrics {
+  obs::Counter& runs = obs::registry().counter("transient.runs");
+  obs::Counter& steps_accepted = obs::registry().counter("transient.steps.accepted");
+  obs::Counter& steps_rejected = obs::registry().counter("transient.steps.rejected");
+  obs::Counter& event_shrinks = obs::registry().counter("transient.event_step_shrinks");
+  obs::Counter& events_fired = obs::registry().counter("transient.events_fired");
+  obs::Counter& newton_iterations =
+      obs::registry().counter("transient.newton_iterations");
+  // Accepted step sizes on a log axis: dt spans 1e-14..1e-7 s, so log10(dt)
+  // in [-14, -7) with half-decade bins; the snapshot's min/max recover the
+  // extreme steps actually taken.
+  obs::Histogram& log10_dt =
+      obs::registry().histogram("transient.log10_dt", -14.0, -7.0, 14);
+  obs::Timer& run_time = obs::registry().timer("transient.run_time");
+
+  static TransientMetrics& get() {
+    static TransientMetrics metrics;
+    return metrics;
+  }
+};
 
 // Collects and sorts all device breakpoints up to the stop time.
 std::vector<double> collect_breakpoints(Circuit& circuit, double t_stop) {
@@ -67,6 +89,10 @@ TransientResult run_transient(MnaSystem& system, const TransientOptions& options
   StampContext& ctx = system.context();
   const std::size_t n = system.dimension();
 
+  TransientMetrics& metrics = TransientMetrics::get();
+  metrics.runs.add();
+  obs::ScopedTimer run_timer(metrics.run_time);
+
   TransientResult result;
   result.probe_values.resize(probes.size());
 
@@ -79,6 +105,7 @@ TransientResult run_transient(MnaSystem& system, const TransientOptions& options
     throw ConvergenceError("transient: DC operating point did not converge");
   }
   result.newton_iterations += dc.newton_iterations;
+  metrics.newton_iterations.add(dc.newton_iterations);
 
   std::vector<double> x = dc.solution;
 
@@ -143,9 +170,11 @@ TransientResult run_transient(MnaSystem& system, const TransientOptions& options
       x_trial = x;  // seed with previous solution
       auto newton = num::solve_newton(system, x_trial, options.newton);
       result.newton_iterations += newton.iterations;
+      metrics.newton_iterations.add(newton.iterations);
 
       if (!newton.converged) {
         ++result.steps_rejected;
+        metrics.steps_rejected.add();
         if (dt_step <= options.dt_min * 1.0001) {
           throw ConvergenceError("transient: step failed at t=" + std::to_string(t) +
                                  " with dt_min");
@@ -168,6 +197,7 @@ TransientResult run_transient(MnaSystem& system, const TransientOptions& options
         }
       }
       if (needs_smaller_step) {
+        metrics.event_shrinks.add();
         dt_step = std::max({options.dt_min, dt_step * 0.25});
         continue;
       }
@@ -182,6 +212,8 @@ TransientResult run_transient(MnaSystem& system, const TransientOptions& options
     ctx.x = x;
     for (auto& device : circuit.devices()) device->commit_step(ctx);
     ++result.steps_accepted;
+    metrics.steps_accepted.add();
+    metrics.log10_dt.observe(std::log10(dt_step));
     record(t, x);
 
     // --- fire events whose crossing landed inside this accepted step ---
@@ -191,6 +223,7 @@ TransientResult run_transient(MnaSystem& system, const TransientOptions& options
       const double after = events[e].value(t, x);
       if (crossed(event_value[e], after, events[e].threshold, events[e].direction)) {
         result.fired_events.push_back({events[e].name, t});
+        metrics.events_fired.add();
         if (events[e].on_fire) {
           events[e].on_fire(t, x);
           waveforms_changed = true;

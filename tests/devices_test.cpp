@@ -330,9 +330,15 @@ TEST(Sources, PulseDrivesTransient) {
   const auto& v = result.probe_values[0];
   // Before the delay: zero. On the plateau: 3.0. After: zero.
   for (std::size_t k = 0; k < t.size(); ++k) {
-    if (t[k] < 90e-9) EXPECT_NEAR(v[k], 0.0, 1e-9);
-    if (t[k] > 120e-9 && t[k] < 300e-9) EXPECT_NEAR(v[k], 3.0, 1e-9);
-    if (t[k] > 330e-9) EXPECT_NEAR(v[k], 0.0, 1e-9);
+    if (t[k] < 90e-9) {
+      EXPECT_NEAR(v[k], 0.0, 1e-9);
+    }
+    if (t[k] > 120e-9 && t[k] < 300e-9) {
+      EXPECT_NEAR(v[k], 3.0, 1e-9);
+    }
+    if (t[k] > 330e-9) {
+      EXPECT_NEAR(v[k], 0.0, 1e-9);
+    }
   }
 }
 

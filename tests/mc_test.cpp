@@ -40,6 +40,31 @@ TEST(McRunner, ResultsIndependentOfThreadCount) {
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
 }
 
+// The determinism contract stated in src/mc/runner.hpp: results are
+// bit-identical regardless of thread count. Exercised at the 1-vs-8 extreme
+// with a trial that consumes a data-dependent number of RNG draws, so any
+// cross-trial stream sharing or scheduling dependence would shift bits.
+TEST(McRunner, ResultsBitIdenticalOneVsEightThreads) {
+  const std::function<double(std::size_t, Rng&)> trial = [](std::size_t index, Rng& rng) {
+    double acc = static_cast<double>(index);
+    const int draws = 1 + static_cast<int>(rng.next_u64() % 17);
+    for (int i = 0; i < draws; ++i) acc += rng.normal(0.0, 1.0) * rng.uniform();
+    return acc;
+  };
+  McOptions serial;
+  serial.trials = 257;  // not a multiple of 8: uneven per-thread strides
+  serial.threads = 1;
+  McOptions parallel = serial;
+  parallel.threads = 8;
+  const auto a = run_trials<double>(serial, trial);
+  const auto b = run_trials<double>(parallel, trial);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bit identity, not tolerance: memcmp-equivalent via ==.
+    EXPECT_EQ(a[i], b[i]) << "trial " << i;
+  }
+}
+
 TEST(McRunner, SeedChangesSamples) {
   const std::function<double(std::size_t, Rng&)> trial = [](std::size_t, Rng& rng) {
     return rng.uniform();

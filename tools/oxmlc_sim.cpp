@@ -5,23 +5,34 @@
 //   oxmlc_sim --tran 5u --dt-max 1n --probe out --probe bl
 //             --csv waves.csv netlist.cir        selected probes + CSV dump
 //   oxmlc_sim --plot out --tran 5u netlist.cir   ASCII waveform of one node
+//   oxmlc_sim --qlc --trials 50 --metrics m.json QLC program run + telemetry
+//
+// Every mode accepts `--metrics out.json`: after the analysis the global
+// observability registry (Newton/DC/transient solver counters and timers,
+// MLC program statistics, MC throughput) is exported as JSON.
 //
 // The netlist dialect is documented in src/spice/netlist.hpp (R/C/L, V/I with
 // PULSE/PWL/SIN, E/G, D, M NMOS/PMOS, S switches, X OXRAM cells, .param
 // expressions).
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "array/write_path.hpp"
+#include "devices/sources.hpp"
+#include "mlc/mc_study.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
 #include "spice/ac.hpp"
 #include "spice/dc.hpp"
 #include "spice/netlist.hpp"
-#include "devices/sources.hpp"
 #include "spice/transient.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/error.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -32,6 +43,9 @@ struct CliOptions {
   std::string netlist_path;
   bool transient = false;
   bool ac = false;
+  bool qlc = false;
+  std::size_t qlc_bits = 4;
+  std::size_t qlc_trials = 50;
   double f_start = 1e3;
   double f_stop = 1e9;
   std::string ac_source;  // V source to excite with AC 1V
@@ -40,18 +54,24 @@ struct CliOptions {
   std::vector<std::string> probes;
   std::vector<std::string> plots;
   std::string csv_path;
+  std::string metrics_path;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
-  std::cerr << "usage: oxmlc_sim [options] netlist.cir\n"
+  std::cerr << "usage: oxmlc_sim [options] [netlist.cir]\n"
                "  (no options)        DC operating point\n"
                "  --tran <t_stop>     transient analysis to t_stop (SI suffixes ok)\n"
                "  --ac <src> <f1> <f2>  AC sweep f1..f2 exciting V source <src>\n"
                "  --dt-max <dt>       max transient step (default t_stop/1000)\n"
                "  --probe <node>      record this node (repeatable; default: all)\n"
                "  --plot <node>       ASCII-plot this node's waveform (repeatable)\n"
-               "  --csv <file>        write the recorded waveforms as CSV\n";
+               "  --csv <file>        write the recorded waveforms as CSV\n"
+               "  --qlc               QLC program run (no netlist): MC program of\n"
+               "                      every level + one transistor-level terminated RST\n"
+               "  --bits <n>          QLC mode: bits per cell (default 4)\n"
+               "  --trials <n>        QLC mode: MC trials per level (default 50)\n"
+               "  --metrics <file>    export solver/MC telemetry as JSON\n";
   std::exit(2);
 }
 
@@ -79,6 +99,14 @@ CliOptions parse_cli(int argc, char** argv) {
       options.plots.push_back(next());
     } else if (arg == "--csv") {
       options.csv_path = next();
+    } else if (arg == "--metrics") {
+      options.metrics_path = next();
+    } else if (arg == "--qlc") {
+      options.qlc = true;
+    } else if (arg == "--bits") {
+      options.qlc_bits = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (arg == "--trials") {
+      options.qlc_trials = std::strtoul(next().c_str(), nullptr, 10);
     } else if (arg == "-h" || arg == "--help") {
       usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -89,8 +117,55 @@ CliOptions parse_cli(int argc, char** argv) {
       usage("multiple netlist files given");
     }
   }
-  if (options.netlist_path.empty()) usage("no netlist file given");
+  if (options.netlist_path.empty() && !options.qlc) usage("no netlist file given");
+  if (options.qlc) {
+    if (options.qlc_bits < 1 || options.qlc_bits > 6) usage("--bits must be in 1..6");
+    if (options.qlc_trials < 1) usage("--trials must be positive");
+  }
   return options;
+}
+
+// QLC program run: the paper's §4.2 flow end-to-end, instrumented. First a
+// Monte-Carlo program of every level through the fast path (termination
+// mismatch + C2C sampling -> per-level pulse/latency statistics), then one
+// transistor-level terminated RESET through the full Fig. 7b write path so
+// the Newton and transient-stepper counters reflect real MNA work.
+int run_qlc(const CliOptions& options) {
+  std::cout << "QLC program run: " << options.qlc_bits << " bits/cell, "
+            << options.qlc_trials << " trials/level\n";
+
+  mlc::McStudyConfig study =
+      mlc::paper_mc_study(options.qlc_bits, options.qlc_trials);
+  const std::vector<mlc::LevelDistribution> levels = mlc::run_level_study(study);
+
+  Table t({"level", "iref (uA)", "median R (kOhm)", "median latency (us)",
+           "median energy (pJ)"});
+  for (const auto& dist : levels) {
+    const BoxPlotSummary r = box_plot_summary(dist.resistance);
+    const BoxPlotSummary lat = box_plot_summary(dist.latency);
+    const BoxPlotSummary en = box_plot_summary(dist.energy);
+    t.add_row({std::to_string(dist.level.value),
+               format_scaled(dist.level.iref, 1e-6, 3),
+               format_scaled(r.median, 1e3, 4), format_scaled(lat.median, 1e-6, 3),
+               format_scaled(en.median, 1e-12, 3)});
+  }
+  t.print(std::cout);
+
+  // Transistor-level terminated RESET at the shallowest level's reference
+  // (largest IrefR -> earliest crossing -> fastest full-circuit run).
+  array::WritePathConfig wp;
+  wp.iref = study.qlc.allocation.levels.front().iref;
+  wp.pulse_width = 3.0e-6;
+  wp.t_stop = 3.2e-6;
+  array::WritePath path(wp);
+  const array::WritePathResult wp_result = path.run();
+  std::cout << "full-circuit RST @ IrefR=" << format_si(*wp.iref, "A", 3) << ": "
+            << (wp_result.terminated
+                    ? "terminated at " + format_si(wp_result.t_terminate, "s", 4)
+                    : "not terminated")
+            << ", " << wp_result.transient.steps_accepted << " steps, "
+            << wp_result.transient.newton_iterations << " Newton iterations\n";
+  return 0;
 }
 
 int run_op(spice::ParsedNetlist& parsed) {
@@ -227,6 +302,17 @@ int run_ac_cli(spice::ParsedNetlist& parsed, const CliOptions& options) {
 int main(int argc, char** argv) {
   try {
     const CliOptions options = parse_cli(argc, argv);
+
+    const auto finish = [&](int status) {
+      if (!options.metrics_path.empty()) {
+        obs::write_metrics_json(options.metrics_path);
+        std::cout << "[metrics written: " << options.metrics_path << "]\n";
+      }
+      return status;
+    };
+
+    if (options.qlc) return finish(run_qlc(options));
+
     std::ifstream file(options.netlist_path);
     if (!file.good()) {
       std::cerr << "cannot open netlist: " << options.netlist_path << "\n";
@@ -237,8 +323,8 @@ int main(int argc, char** argv) {
     spice::ParsedNetlist parsed = spice::parse_netlist(buffer.str());
     if (!parsed.title.empty()) std::cout << "*" << parsed.title << "\n";
 
-    if (options.ac) return run_ac_cli(parsed, options);
-    return options.transient ? run_tran(parsed, options) : run_op(parsed);
+    if (options.ac) return finish(run_ac_cli(parsed, options));
+    return finish(options.transient ? run_tran(parsed, options) : run_op(parsed));
   } catch (const oxmlc::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
