@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Netlist lint regression corpus driver.
+
+Runs `oxmlc_sim --lint --json` over the shipped netlists and the deliberately
+broken fixtures and enforces the contract the CI lint job depends on:
+
+  * tools/netlists/*.cir        must be clean: zero errors, zero warnings
+  * tools/netlists/broken/*.cir must emit exactly the diagnostic codes named
+    in their `* expect: CODE [CODE...]` header comment, and the exit status
+    must be 1 iff any error-severity finding was reported
+
+Usage: scripts/lint_corpus.py [path/to/oxmlc_sim]   (default: build/tools/oxmlc_sim)
+"""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_lint(sim, netlist):
+    proc = subprocess.run(
+        [sim, "--lint", "--json", netlist], capture_output=True, text=True
+    )
+    if proc.returncode not in (0, 1):
+        raise RuntimeError(
+            f"{netlist}: oxmlc_sim exited {proc.returncode}: {proc.stderr.strip()}"
+        )
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def expected_codes(netlist):
+    with open(netlist) as f:
+        for line in f:
+            if line.startswith("*") and "expect:" in line:
+                return set(line.split("expect:", 1)[1].split())
+    raise RuntimeError(f"{netlist}: no '* expect: CODE...' header")
+
+
+def main():
+    sim = sys.argv[1] if len(sys.argv) > 1 else os.path.join(REPO, "build/tools/oxmlc_sim")
+    if not os.path.exists(sim):
+        print(f"lint_corpus: simulator not found at {sim}", file=sys.stderr)
+        return 2
+
+    failures = []
+    clean = sorted(glob.glob(os.path.join(REPO, "tools/netlists/*.cir")))
+    broken = sorted(glob.glob(os.path.join(REPO, "tools/netlists/broken/*.cir")))
+    if not clean or not broken:
+        print("lint_corpus: corpus is empty (bad checkout?)", file=sys.stderr)
+        return 2
+
+    for netlist in clean:
+        rel = os.path.relpath(netlist, REPO)
+        rc, report = run_lint(sim, netlist)
+        if rc != 0 or report["errors"] != 0 or report["warnings"] != 0:
+            failures.append(f"{rel}: expected clean, got {report}")
+        else:
+            print(f"ok (clean)     {rel}")
+
+    for netlist in broken:
+        rel = os.path.relpath(netlist, REPO)
+        want = expected_codes(netlist)
+        rc, report = run_lint(sim, netlist)
+        got = {d["code"] for d in report["diagnostics"]}
+        if got != want:
+            failures.append(f"{rel}: expected codes {sorted(want)}, got {sorted(got)}")
+            continue
+        want_rc = 1 if report["errors"] > 0 else 0
+        if rc != want_rc:
+            failures.append(f"{rel}: exit status {rc}, expected {want_rc}")
+            continue
+        print(f"ok ({'+'.join(sorted(got))})  {rel}")
+
+    if failures:
+        print(f"\nlint_corpus: {len(failures)} failure(s)", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"lint_corpus: OK ({len(clean)} clean, {len(broken)} broken fixtures)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,16 @@ Mosfet::Mosfet(std::string name, int drain, int gate, int source, int bulk,
   nodes_ = {drain, gate, source, bulk};
 }
 
+std::vector<spice::StructuralEdge> Mosfet::dc_edges() const {
+  // Channel and bulk junctions conduct at DC; the gate is purely capacitive,
+  // so a net driven only by MOSFET gates has no DC path to ground.
+  const int nd = nodes_[0], ng = nodes_[1], ns = nodes_[2], nb = nodes_[3];
+  return {{nd, ns, spice::EdgeKind::kConductance},
+          {nd, nb, spice::EdgeKind::kConductance},
+          {ns, nb, spice::EdgeKind::kConductance},
+          {ng, ns, spice::EdgeKind::kCapacitive}};
+}
+
 MosOperatingPoint Mosfet::evaluate_terminal(double vd, double vg, double vs, double vb,
                                             bool& swapped) const {
   // PMOS is evaluated as an NMOS with all voltages negated.

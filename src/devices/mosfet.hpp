@@ -53,6 +53,7 @@ class Mosfet final : public spice::Device {
          const MosfetParams& params);
 
   void stamp(const spice::StampContext& ctx, spice::Stamper& stamper) override;
+  std::vector<spice::StructuralEdge> dc_edges() const override;
 
   // Drain current at iterate x (positive into the drain for NMOS conduction).
   double drain_current(std::span<const double> x) const;

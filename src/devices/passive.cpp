@@ -1,8 +1,41 @@
 #include "devices/passive.hpp"
 
+#include <cstdio>
+
+#include "spice/analyze/diagnostic.hpp"
 #include "util/error.hpp"
 
 namespace oxmlc::dev {
+namespace {
+
+using spice::analyze::Diagnostic;
+using spice::analyze::Severity;
+
+// %g formatting: "1e-15" instead of std::to_string's "0.000000".
+std::string compact(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", v);
+  return buffer;
+}
+
+// Value-plausibility lint shared by the passives: constructors already reject
+// non-positive values, so the static check targets the unit-typo band — a
+// "1f" (femto) resistor or a "1g" (giga) capacitor parses fine but is almost
+// certainly a suffix mistake.
+void check_plausible(double value, double low, double high, const char* quantity,
+                     const char* unit, std::vector<Diagnostic>& out) {
+  if (value >= low && value <= high) return;
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.code = spice::analyze::codes::kNonPositivePassive;
+  d.message = std::string(quantity) + " of " + compact(value) + " " + unit +
+              " is outside the plausible range [" + compact(low) + ", " +
+              compact(high) + "] " + unit;
+  d.fix_hint = "check the value's SI suffix (m = milli, meg = 1e6, f = femto)";
+  out.push_back(std::move(d));
+}
+
+}  // namespace
 
 Resistor::Resistor(std::string name, int a, int b, double resistance)
     : Device(std::move(name)), resistance_(resistance) {
@@ -24,6 +57,10 @@ double Resistor::current(std::span<const double> x) const {
 void Resistor::set_resistance(double r) {
   OXMLC_CHECK(r > 0.0, "resistor " + name_ + ": resistance must be positive");
   resistance_ = r;
+}
+
+void Resistor::self_check(std::vector<Diagnostic>& out) const {
+  check_plausible(resistance_, 1e-3, 1e12, "resistance", "Ohm", out);
 }
 
 Capacitor::Capacitor(std::string name, int a, int b, double capacitance,
@@ -84,6 +121,14 @@ void Capacitor::commit_step(const StampContext& ctx) {
   v_prev_ = v_now;
 }
 
+std::vector<spice::StructuralEdge> Capacitor::dc_edges() const {
+  return {{nodes_[0], nodes_[1], spice::EdgeKind::kCapacitive}};
+}
+
+void Capacitor::self_check(std::vector<Diagnostic>& out) const {
+  check_plausible(capacitance_, 1e-18, 1.0, "capacitance", "F", out);
+}
+
 Inductor::Inductor(std::string name, int a, int b, double inductance)
     : Device(std::move(name)), inductance_(inductance) {
   OXMLC_CHECK(inductance > 0.0, "inductor " + name_ + ": inductance must be positive");
@@ -132,6 +177,15 @@ void Inductor::init_state(const StampContext& ctx) {
 void Inductor::commit_step(const StampContext& ctx) {
   i_prev_ = ctx.x[static_cast<std::size_t>(branches_[0])];
   v_prev_ = v(ctx, nodes_[0]) - v(ctx, nodes_[1]);
+}
+
+std::vector<spice::StructuralEdge> Inductor::dc_edges() const {
+  // DC short: participates in voltage-source loop topology.
+  return {{nodes_[0], nodes_[1], spice::EdgeKind::kVoltageSource}};
+}
+
+void Inductor::self_check(std::vector<Diagnostic>& out) const {
+  check_plausible(inductance_, 1e-15, 1e3, "inductance", "H", out);
 }
 
 }  // namespace oxmlc::dev

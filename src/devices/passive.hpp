@@ -14,6 +14,7 @@ class Resistor final : public Device {
   Resistor(std::string name, int a, int b, double resistance);
 
   void stamp(const StampContext& ctx, Stamper& stamper) override;
+  void self_check(std::vector<spice::analyze::Diagnostic>& out) const override;
 
   // Current flowing a -> b at iterate x.
   double current(std::span<const double> x) const;
@@ -35,6 +36,8 @@ class Capacitor final : public Device {
   void init_state(const StampContext& ctx) override;
   void commit_step(const StampContext& ctx) override;
   void stamp_reactive(const StampContext& ctx, num::TripletMatrix& b) const override;
+  std::vector<spice::StructuralEdge> dc_edges() const override;
+  void self_check(std::vector<spice::analyze::Diagnostic>& out) const override;
 
   double capacitance() const { return capacitance_; }
   double branch_current() const { return i_prev_; }
@@ -59,6 +62,8 @@ class Inductor final : public Device {
   void init_state(const StampContext& ctx) override;
   void commit_step(const StampContext& ctx) override;
   void stamp_reactive(const StampContext& ctx, num::TripletMatrix& b) const override;
+  std::vector<spice::StructuralEdge> dc_edges() const override;
+  void self_check(std::vector<spice::analyze::Diagnostic>& out) const override;
 
   double inductance() const { return inductance_; }
 

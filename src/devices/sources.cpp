@@ -3,10 +3,49 @@
 #include <algorithm>
 #include <cmath>
 
+#include "spice/analyze/diagnostic.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace oxmlc::dev {
+
+// --- static-analysis structure descriptions -------------------------------
+// Output pairs carry the electrical role of the device; control pairs are
+// infinite-impedance observers and contribute no DC edge.
+
+std::vector<spice::StructuralEdge> VoltageSource::dc_edges() const {
+  return {{nodes_[0], nodes_[1], spice::EdgeKind::kVoltageSource}};
+}
+
+std::vector<spice::StructuralEdge> CurrentSource::dc_edges() const {
+  return {{nodes_[0], nodes_[1], spice::EdgeKind::kCurrentSource}};
+}
+
+std::vector<spice::StructuralEdge> Vcvs::dc_edges() const {
+  return {{nodes_[0], nodes_[1], spice::EdgeKind::kVoltageSource}};
+}
+
+std::vector<spice::StructuralEdge> Vccs::dc_edges() const {
+  return {{nodes_[0], nodes_[1], spice::EdgeKind::kCurrentSource}};
+}
+
+std::vector<spice::StructuralEdge> Cccs::dc_edges() const {
+  return {{nodes_[0], nodes_[1], spice::EdgeKind::kCurrentSource}};
+}
+
+std::vector<spice::StructuralEdge> Ccvs::dc_edges() const {
+  return {{nodes_[0], nodes_[1], spice::EdgeKind::kVoltageSource}};
+}
+
+std::vector<spice::StructuralEdge> VSwitch::dc_edges() const {
+  // The a-b pair conducts (r_on..r_off); the control pair only observes.
+  return {{nodes_[0], nodes_[1], spice::EdgeKind::kConductance}};
+}
+
+std::vector<spice::StructuralEdge> BehavioralComparator::dc_edges() const {
+  // The output voltage is forced relative to ground; inputs only observe.
+  return {{nodes_[0], spice::kGround, spice::EdgeKind::kVoltageSource}};
+}
 
 VoltageSource::VoltageSource(std::string name, int positive, int negative,
                              std::shared_ptr<Waveform> waveform)

@@ -25,6 +25,7 @@ class VoltageSource final : public Device {
   std::size_t branch_count() const override { return 1; }
   void stamp(const StampContext& ctx, Stamper& stamper) override;
   std::vector<double> breakpoints(double horizon) const override;
+  std::vector<spice::StructuralEdge> dc_edges() const override;
 
   // Source current at iterate x (positive = out of the + terminal through the
   // external circuit).
@@ -53,6 +54,7 @@ class CurrentSource final : public Device {
 
   void stamp(const StampContext& ctx, Stamper& stamper) override;
   std::vector<double> breakpoints(double horizon) const override;
+  std::vector<spice::StructuralEdge> dc_edges() const override;
 
   Waveform& waveform() { return *waveform_; }
   void set_waveform(std::shared_ptr<Waveform> waveform);
@@ -73,6 +75,7 @@ class Vcvs final : public Device {
 
   std::size_t branch_count() const override { return 1; }
   void stamp(const StampContext& ctx, Stamper& stamper) override;
+  std::vector<spice::StructuralEdge> dc_edges() const override;
 
  private:
   double gain_;
@@ -85,6 +88,7 @@ class Vccs final : public Device {
        double transconductance);
 
   void stamp(const StampContext& ctx, Stamper& stamper) override;
+  std::vector<spice::StructuralEdge> dc_edges() const override;
 
  private:
   double gm_;
@@ -100,6 +104,7 @@ class Cccs final : public Device {
        double gain);
 
   void stamp(const StampContext& ctx, Stamper& stamper) override;
+  std::vector<spice::StructuralEdge> dc_edges() const override;
 
  private:
   const VoltageSource& sensor_;
@@ -115,6 +120,7 @@ class Ccvs final : public Device {
 
   std::size_t branch_count() const override { return 1; }
   void stamp(const StampContext& ctx, Stamper& stamper) override;
+  std::vector<spice::StructuralEdge> dc_edges() const override;
 
  private:
   const VoltageSource& sensor_;
@@ -137,6 +143,7 @@ class VSwitch final : public Device {
   VSwitch(std::string name, int a, int b, int ctrl_pos, int ctrl_neg, const Params& params);
 
   void stamp(const StampContext& ctx, Stamper& stamper) override;
+  std::vector<spice::StructuralEdge> dc_edges() const override;
 
   // Conductance at a given control voltage (exposed for tests).
   double conductance(double v_ctrl) const;
@@ -155,6 +162,7 @@ class BehavioralComparator final : public Device {
 
   std::size_t branch_count() const override { return 1; }
   void stamp(const StampContext& ctx, Stamper& stamper) override;
+  std::vector<spice::StructuralEdge> dc_edges() const override;
 
  private:
   double v_low_, v_high_, gain_;

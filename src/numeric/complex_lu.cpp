@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "numeric/linear_error.hpp"
 #include "util/error.hpp"
 
 namespace oxmlc::num {
@@ -24,8 +25,8 @@ void ComplexLu::factorize(const ComplexDenseMatrix& a, double pivot_tol) {
       }
     }
     if (pivot_mag < pivot_tol) {
-      throw ConvergenceError("ComplexLu: numerically singular matrix at column " +
-                             std::to_string(k));
+      throw SingularMatrixError(
+          "ComplexLu: numerically singular matrix at column " + std::to_string(k), k);
     }
     if (pivot_row != k) {
       for (std::size_t c = 0; c < n_; ++c) std::swap(lu_.at(k, c), lu_.at(pivot_row, c));

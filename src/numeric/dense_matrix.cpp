@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "numeric/linear_error.hpp"
 #include "util/error.hpp"
 
 namespace oxmlc::num {
@@ -42,8 +43,10 @@ void DenseLu::factorize(const DenseMatrix& a, double pivot_tol) {
       }
     }
     if (pivot_mag < pivot_tol) {
-      throw ConvergenceError("DenseLu: numerically singular matrix (pivot " +
-                             std::to_string(pivot_mag) + " at column " + std::to_string(k) + ")");
+      throw SingularMatrixError(
+          "DenseLu: numerically singular matrix (pivot " + std::to_string(pivot_mag) +
+              " at column " + std::to_string(k) + ")",
+          k);
     }
     if (pivot_row != k) {
       for (std::size_t c = 0; c < n_; ++c) std::swap(lu_.at(k, c), lu_.at(pivot_row, c));

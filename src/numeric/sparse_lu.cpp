@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "numeric/linear_error.hpp"
 #include "util/error.hpp"
 
 namespace oxmlc::num {
@@ -57,8 +58,8 @@ void SparseLu::factorize(const CsrMatrix& a, double pivot_tol) {
       }
     }
     if (best_mag < pivot_tol) {
-      throw ConvergenceError("SparseLu: numerically singular matrix at column " +
-                             std::to_string(k));
+      throw SingularMatrixError(
+          "SparseLu: numerically singular matrix at column " + std::to_string(k), k);
     }
     std::swap(row_order[k], row_order[best]);
     const std::size_t pivot_physical = row_order[k];

@@ -1,0 +1,56 @@
+#include "numeric/structure.hpp"
+
+#include <algorithm>
+
+namespace oxmlc::num {
+namespace {
+
+// Depth-first augmenting path from `row`. `match_col[c]` is the row currently
+// matched to column c (or npos). Returns true when an augmenting path exists.
+bool augment(std::size_t row, const std::vector<std::vector<std::size_t>>& adjacency,
+             std::vector<std::size_t>& match_col, std::vector<bool>& visited) {
+  for (std::size_t col : adjacency[row]) {
+    if (visited[col]) continue;
+    visited[col] = true;
+    constexpr std::size_t kUnmatched = static_cast<std::size_t>(-1);
+    if (match_col[col] == kUnmatched ||
+        augment(match_col[col], adjacency, match_col, visited)) {
+      match_col[col] = row;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StructuralRankResult structural_rank(const TripletMatrix& pattern) {
+  constexpr std::size_t kUnmatched = static_cast<std::size_t>(-1);
+  const std::size_t n = pattern.size();
+
+  // Row adjacency with deduplicated columns; a triplet's *presence* marks a
+  // symbolic nonzero even when duplicate stamps would cancel numerically.
+  std::vector<std::vector<std::size_t>> adjacency(n);
+  for (const Triplet& t : pattern.entries()) {
+    if (t.row < n && t.col < n) adjacency[t.row].push_back(t.col);
+  }
+  for (auto& cols : adjacency) {
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  }
+
+  std::vector<std::size_t> match_col(n, kUnmatched);
+  StructuralRankResult result;
+  std::vector<bool> visited(n);
+  for (std::size_t row = 0; row < n; ++row) {
+    std::fill(visited.begin(), visited.end(), false);
+    if (augment(row, adjacency, match_col, visited)) {
+      ++result.rank;
+    } else {
+      result.unmatched_rows.push_back(row);
+    }
+  }
+  return result;
+}
+
+}  // namespace oxmlc::num

@@ -212,6 +212,10 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
+      // Reject duplicate keys outright: Json::set would silently keep only
+      // the last value, turning a malformed document into a wrong one. Our
+      // own exporters cannot produce duplicates (set() replaces in place).
+      if (out.contains(key)) fail("duplicate object key: \"" + key + "\"");
       out.set(key, parse_value());
       skip_ws();
       if (peek() == ',') {

@@ -4,7 +4,8 @@
 // keys, arrays, strings, doubles, booleans, null — with a writer that emits
 // round-trippable doubles (max_digits10) and a recursive-descent parser for
 // reading exports back (tests, tooling). Not a general-purpose JSON library:
-// no \uXXXX surrogate pairs, no duplicate-key policy beyond last-wins.
+// no \uXXXX surrogate pairs. The parser rejects duplicate object keys (the
+// writer cannot produce them: `set` replaces an existing key in place).
 #pragma once
 
 #include <cstddef>

@@ -11,7 +11,13 @@ namespace {
 
 num::NewtonResult attempt(MnaSystem& system, std::vector<double>& x,
                           const num::NewtonOptions& newton) {
-  return num::solve_newton(system, x, newton);
+  try {
+    return num::solve_newton(system, x, newton);
+  } catch (const num::SingularMatrixError& error) {
+    // Translate the bare pivot column into circuit vocabulary before the
+    // exception escapes to callers that never saw the matrix.
+    system.rethrow_singular(error, "dc");
+  }
 }
 
 struct DcMetrics {
@@ -51,6 +57,10 @@ DcResult solve_dc(MnaSystem& system, const DcOptions& options,
   ctx.dt = 0.0;
   ctx.source_scale = 1.0;
   ctx.gmin = options.gmin;
+
+  // Fail fast on broken topology (cached after the first call, so sweeps and
+  // Monte-Carlo repetitions pay the analysis cost once).
+  if (options.precheck) system.precheck();
 
   // Strategy 1: direct solve.
   auto newton_result = attempt(system, result.solution, options.newton);

@@ -20,6 +20,11 @@ struct DcOptions {
   // Source stepping: number of homotopy points from 0 to full bias. Applied
   // only when gmin stepping also fails.
   std::size_t source_steps = 20;
+  // Run the circuit static analyzer (spice/analyze) before the first Newton
+  // solve: error-severity findings (V-loops, current cutsets, structural
+  // singularity) throw InvalidArgumentError with named nodes/devices instead
+  // of surfacing as a singular LU mid-iteration. Warnings are logged.
+  bool precheck = true;
 };
 
 struct DcResult {

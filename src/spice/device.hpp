@@ -20,7 +20,27 @@
 
 namespace oxmlc::spice {
 
+namespace analyze {
+struct Diagnostic;
+}  // namespace analyze
+
 inline constexpr int kGround = -1;
+
+// DC-coupling classification of a terminal pair, used by the static analyzer
+// (spice/analyze) to reason about the circuit graph without dynamic_casts:
+// every device self-describes how it couples its terminals at DC.
+enum class EdgeKind {
+  kConductance,    // finite DC conductance path (resistor, diode, channel, cell)
+  kVoltageSource,  // ideal voltage constraint (V/E/H sources, DC-shorted inductor)
+  kCurrentSource,  // forced current independent of the node voltages (I/G/F)
+  kCapacitive,     // open at DC
+};
+
+struct StructuralEdge {
+  int a = kGround;
+  int b = kGround;
+  EdgeKind kind = EdgeKind::kConductance;
+};
 
 enum class AnalysisMode { kDcOperatingPoint, kTransient };
 enum class IntegrationMethod { kBackwardEuler, kTrapezoidal };
@@ -120,6 +140,26 @@ class Device {
   // AC excitation: phasor contributions to the complex right-hand side at the
   // device's own rows (independent sources with an AC specification).
   virtual void stamp_ac_source(std::span<std::complex<double>> rhs) const { (void)rhs; }
+
+  // --- static-analysis hooks (spice/analyze) ---
+  // DC-coupling edges between this device's terminals. The default declares a
+  // conductive path between every terminal pair, which is correct for
+  // intrinsically conductive two-terminal devices (resistor, diode, OxRAM);
+  // sources, reactive devices and field-effect devices override it.
+  virtual std::vector<StructuralEdge> dc_edges() const {
+    std::vector<StructuralEdge> edges;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+        edges.push_back({nodes_[i], nodes_[j], EdgeKind::kConductance});
+      }
+    }
+    return edges;
+  }
+
+  // Parameter-level lint: devices append findings (severity/code/message set;
+  // the analyzer fills in the device name and terminal node names). Default:
+  // nothing to report.
+  virtual void self_check(std::vector<analyze::Diagnostic>& out) const { (void)out; }
 
   std::span<const int> nodes() const { return nodes_; }
   std::span<const int> branches() const { return branches_; }

@@ -2,8 +2,11 @@
 #pragma once
 
 #include <span>
+#include <string>
 
+#include "numeric/linear_error.hpp"
 #include "numeric/newton.hpp"
+#include "spice/analyze/analyzer.hpp"
 #include "spice/circuit.hpp"
 
 namespace oxmlc::spice {
@@ -32,9 +35,32 @@ class MnaSystem final : public num::NonlinearSystem {
 
   Circuit& circuit() { return circuit_; }
 
+  // Codes the precheck drops (forwarded to the analyzer; set before the first
+  // solve — the report is computed once and cached).
+  analyze::AnalyzerOptions& analyzer_options() { return analyzer_options_; }
+
+  // Static-analysis gate run by the DC/transient drivers before the first
+  // solve: warnings are logged, error-severity findings throw
+  // InvalidArgumentError with the full formatted report — replacing the
+  // singular-LU throw the broken topology would otherwise produce mid-Newton.
+  // The report is cached; repeated solves (sweeps, Monte-Carlo) pay nothing.
+  const analyze::DiagnosticReport& precheck();
+
+  // "node 'bl' (devices RBL, CBL, X1)" or "branch current of 'VSL'" for the
+  // unknown-vector index `idx`; used to translate LU pivot failures.
+  std::string describe_unknown(std::size_t idx) const;
+
+  // Re-throws a factorization failure as a ConvergenceError naming the
+  // offending node/branch and its connected devices instead of a bare column.
+  [[noreturn]] void rethrow_singular(const num::SingularMatrixError& error,
+                                     const std::string& analysis) const;
+
  private:
   Circuit& circuit_;
   StampContext context_;
+  analyze::AnalyzerOptions analyzer_options_;
+  bool prechecked_ = false;
+  analyze::DiagnosticReport precheck_report_;
 };
 
 }  // namespace oxmlc::spice

@@ -17,8 +17,8 @@
 namespace oxmlc::spice {
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& message) {
-  throw InvalidArgumentError("netlist line " + std::to_string(line) + ": " + message);
+[[noreturn]] void fail(std::size_t line, const char* code, const std::string& message) {
+  throw NetlistError(line, code, message);
 }
 
 std::string lower(std::string s) {
@@ -31,7 +31,11 @@ std::string lower(std::string s) {
 // value parsing: numbers with SI suffixes
 // ---------------------------------------------------------------------------
 
-bool parse_plain_number(const std::string& token, double& out) {
+// Parses a number with an optional SI scale suffix. `unit_tail` (optional)
+// receives whatever letters remain after the scale suffix — "ohm" in "10kohm",
+// "" in "1n", "x" in "3x" — so the caller can lint unrecognized tails.
+bool parse_plain_number(const std::string& token, double& out,
+                        std::string* unit_tail = nullptr) {
   if (token.empty()) return false;
   char* end = nullptr;
   const double base = std::strtod(token.c_str(), &end);
@@ -46,14 +50,28 @@ bool parse_plain_number(const std::string& token, double& out) {
       {"u", 1e-6},  {"n", 1e-9}, {"p", 1e-12}, {"f", 1e-15},
   };
   double scale = 1.0;
+  std::string tail = suffix;
   for (const auto& s : kSuffixes) {
     if (suffix.rfind(s.name, 0) == 0) {
       scale = s.scale;
+      tail = suffix.substr(std::string(s.name).size());
       break;
     }
   }
+  if (unit_tail != nullptr) *unit_tail = tail;
   out = base * scale;
   return true;
+}
+
+// Unit words that legitimately trail a scale suffix ("10kohm", "5uF", "3ns").
+// Anything else is flagged as OXA007 — it parses (the tail is ignored, SPICE
+// convention) but usually indicates a typo like "10kk" or "1qF".
+bool known_unit_tail(const std::string& tail) {
+  static const char* kUnits[] = {"",  "ohm", "ohms", "f",   "farad", "h",  "henry",
+                                 "v", "a",   "s",    "sec", "hz",    "amp"};
+  return std::find_if(std::begin(kUnits), std::end(kUnits), [&](const char* u) {
+           return tail == u;
+         }) != std::end(kUnits);
 }
 
 // Recursive-descent expression evaluator for {..} values.
@@ -170,13 +188,17 @@ std::vector<std::string> tokenize(const std::string& line, std::size_t line_no) 
       const char c = line[i];
       if (c == '(' || c == '{') ++depth;
       if (c == ')' || c == '}') {
-        if (depth == 0) fail(line_no, "unbalanced ')' in: " + line);
+        if (depth == 0) {
+          fail(line_no, analyze::codes::kMalformedCard, "unbalanced ')' in: " + line);
+        }
         --depth;
       }
       if (depth == 0 && std::isspace(static_cast<unsigned char>(c))) break;
       ++i;
     }
-    if (depth != 0) fail(line_no, "unbalanced '(' in: " + line);
+    if (depth != 0) {
+      fail(line_no, analyze::codes::kMalformedCard, "unbalanced '(' in: " + line);
+    }
     tokens.push_back(line.substr(start, i - start));
   }
   return tokens;
@@ -248,7 +270,10 @@ ParsedNetlist parse_netlist(const std::string& text) {
         continue;
       }
       if (raw[0] == '+') {
-        if (cards.empty()) fail(line_no, "continuation '+' with no previous card");
+        if (cards.empty()) {
+          fail(line_no, analyze::codes::kMalformedCard,
+               "continuation '+' with no previous card");
+        }
         cards.back().second += " " + raw.substr(1);
         continue;
       }
@@ -257,7 +282,40 @@ ParsedNetlist parse_netlist(const std::string& text) {
   }
 
   auto& params = out.parameters;
-  auto value = [&](const std::string& token) { return parse_value(token, params); };
+
+  // Card being processed right now; the value/lint lambdas close over these so
+  // inner helpers (waveforms, key=value tails) report accurate context.
+  std::size_t current_line = 0;
+  std::string current_device;
+
+  // OXA007: a numeric literal whose letters after the SI scale suffix are not
+  // a known unit word. The value still parses (the tail is ignored, SPICE
+  // convention) but "10kk" or "1qF" is almost always a typo.
+  auto lint_token = [&](const std::string& token) {
+    if (token.empty() || token.front() == '{') return;
+    double parsed = 0.0;
+    std::string tail;
+    if (!parse_plain_number(token, parsed, &tail)) return;
+    if (known_unit_tail(tail)) return;
+    analyze::Diagnostic d;
+    d.severity = analyze::Severity::kWarning;
+    d.code = analyze::codes::kSuspiciousSuffix;
+    d.device = current_device;
+    d.message = "line " + std::to_string(current_line) + ": value literal '" + token +
+                "' has unrecognized unit tail '" + tail + "' (ignored)";
+    d.fix_hint = "check the SI suffix (f p n u m k meg g t); units like 'ohm' or "
+                 "'F' may follow it";
+    out.lint.add(std::move(d));
+  };
+
+  auto value = [&](const std::string& token) -> double {
+    lint_token(token);
+    try {
+      return parse_value(token, params);
+    } catch (const InvalidArgumentError& e) {
+      fail(current_line, analyze::codes::kBadValue, e.what());
+    }
+  };
 
   // Parses optional key=value tail into a map (uppercase-insensitive keys).
   auto parse_options = [&](const std::vector<std::string>& tokens, std::size_t from,
@@ -266,7 +324,8 @@ ParsedNetlist parse_netlist(const std::string& text) {
     for (std::size_t k = from; k < tokens.size(); ++k) {
       std::string key, val;
       if (!split_assignment(tokens[k], key, val)) {
-        fail(line_no, "expected key=value, got: " + tokens[k]);
+        fail(line_no, analyze::codes::kMalformedCard,
+             "expected key=value, got: " + tokens[k]);
       }
       options[key] = value(val);
     }
@@ -275,12 +334,16 @@ ParsedNetlist parse_netlist(const std::string& text) {
 
   auto make_waveform = [&](const std::vector<std::string>& tokens, std::size_t from,
                            std::size_t line_no) -> std::shared_ptr<Waveform> {
-    OXMLC_CHECK(from < tokens.size(), "source needs a value or waveform");
+    if (from >= tokens.size()) {
+      fail(line_no, analyze::codes::kMalformedCard, "source needs a value or waveform");
+    }
     std::string fn;
     std::vector<std::string> args;
     if (split_function(tokens[from], fn, args)) {
       if (fn == "pulse") {
-        if (args.size() < 2) fail(line_no, "PULSE needs at least v1 v2");
+        if (args.size() < 2) {
+          fail(line_no, analyze::codes::kMalformedCard, "PULSE needs at least v1 v2");
+        }
         PulseSpec spec;
         spec.v1 = value(args[0]);
         spec.v2 = value(args[1]);
@@ -293,7 +356,7 @@ ParsedNetlist parse_netlist(const std::string& text) {
       }
       if (fn == "pwl") {
         if (args.size() < 2 || args.size() % 2 != 0) {
-          fail(line_no, "PWL needs time/value pairs");
+          fail(line_no, analyze::codes::kMalformedCard, "PWL needs time/value pairs");
         }
         std::vector<std::pair<double, double>> points;
         for (std::size_t k = 0; k + 1 < args.size(); k += 2) {
@@ -302,22 +365,29 @@ ParsedNetlist parse_netlist(const std::string& text) {
         return std::make_shared<PwlWaveform>(std::move(points));
       }
       if (fn == "sin") {
-        if (args.size() < 3) fail(line_no, "SIN needs offset amplitude frequency");
+        if (args.size() < 3) {
+          fail(line_no, analyze::codes::kMalformedCard,
+               "SIN needs offset amplitude frequency");
+        }
         return std::make_shared<SinWaveform>(value(args[0]), value(args[1]),
                                              value(args[2]),
                                              args.size() > 3 ? value(args[3]) : 0.0);
       }
-      fail(line_no, "unknown waveform: " + fn);
+      fail(line_no, analyze::codes::kUnknownWaveform, "unknown waveform: " + fn);
     }
     // "DC <v>" or a bare value.
     if (lower(tokens[from]) == "dc") {
-      OXMLC_CHECK(from + 1 < tokens.size(), "DC needs a value");
+      if (from + 1 >= tokens.size()) {
+        fail(line_no, analyze::codes::kMalformedCard, "DC needs a value");
+      }
       return std::make_shared<DcWaveform>(value(tokens[from + 1]));
     }
     return std::make_shared<DcWaveform>(value(tokens[from]));
   };
 
   for (const auto& [line_no, card] : cards) {
+    current_line = line_no;
+    current_device.clear();
     const auto tokens = tokenize(card, line_no);
     if (tokens.empty()) continue;
     const std::string head = tokens[0];
@@ -330,33 +400,51 @@ ParsedNetlist parse_netlist(const std::string& text) {
         for (std::size_t k = 1; k < tokens.size(); ++k) {
           std::string key, val;
           if (!split_assignment(tokens[k], key, val)) {
-            fail(line_no, ".param expects NAME=VALUE, got: " + tokens[k]);
+            fail(line_no, analyze::codes::kMalformedCard,
+                 ".param expects NAME=VALUE, got: " + tokens[k]);
           }
           params[key] = value(val);
         }
         continue;
       }
-      fail(line_no, "unknown directive: " + head);
+      if (directive == ".nolint") {
+        for (std::size_t k = 1; k < tokens.size(); ++k) {
+          std::string code = tokens[k];
+          std::transform(code.begin(), code.end(), code.begin(), [](unsigned char ch) {
+            return static_cast<char>(std::toupper(ch));
+          });
+          out.suppressed.push_back(std::move(code));
+        }
+        continue;
+      }
+      fail(line_no, analyze::codes::kUnknownDirective, "unknown directive: " + head);
     }
 
     out.device_names.push_back(head);
+    current_device = head;
     const char kind = static_cast<char>(std::toupper(static_cast<unsigned char>(head[0])));
     auto node = [&](std::size_t idx) {
-      if (idx >= tokens.size()) fail(line_no, "missing node on card: " + card);
+      if (idx >= tokens.size()) {
+        fail(line_no, analyze::codes::kMalformedCard, "missing node on card: " + card);
+      }
       return c.node(tokens[idx]);
     };
 
+    // Device constructors reject out-of-domain parameters (non-positive R/C/L,
+    // zero MOSFET W/L) with an InvalidArgumentError that knows nothing about
+    // netlist lines; re-badge those as OXP004 with the line attached.
+    try {
     switch (kind) {
       case 'R':
-        if (tokens.size() < 4) fail(line_no, "R card: R<name> n1 n2 value");
+        if (tokens.size() < 4) fail(line_no, analyze::codes::kMalformedCard, "R card: R<name> n1 n2 value");
         c.add<dev::Resistor>(head, node(1), node(2), value(tokens[3]));
         break;
       case 'C':
-        if (tokens.size() < 4) fail(line_no, "C card: C<name> n1 n2 value");
+        if (tokens.size() < 4) fail(line_no, analyze::codes::kMalformedCard, "C card: C<name> n1 n2 value");
         c.add<dev::Capacitor>(head, node(1), node(2), value(tokens[3]));
         break;
       case 'L':
-        if (tokens.size() < 4) fail(line_no, "L card: L<name> n1 n2 value");
+        if (tokens.size() < 4) fail(line_no, analyze::codes::kMalformedCard, "L card: L<name> n1 n2 value");
         c.add<dev::Inductor>(head, node(1), node(2), value(tokens[3]));
         break;
       case 'V':
@@ -368,22 +456,24 @@ ParsedNetlist parse_netlist(const std::string& text) {
                                   make_waveform(tokens, 3, line_no));
         break;
       case 'E':
-        if (tokens.size() < 6) fail(line_no, "E card: E<name> o+ o- i+ i- gain");
+        if (tokens.size() < 6) fail(line_no, analyze::codes::kMalformedCard, "E card: E<name> o+ o- i+ i- gain");
         c.add<dev::Vcvs>(head, node(1), node(2), node(3), node(4), value(tokens[5]));
         break;
       case 'G':
-        if (tokens.size() < 6) fail(line_no, "G card: G<name> o+ o- i+ i- gm");
+        if (tokens.size() < 6) fail(line_no, analyze::codes::kMalformedCard, "G card: G<name> o+ o- i+ i- gm");
         c.add<dev::Vccs>(head, node(1), node(2), node(3), node(4), value(tokens[5]));
         break;
       case 'F':
       case 'H': {
         if (tokens.size() < 5) {
-          fail(line_no, "F/H card: <name> o+ o- Vsensor gain");
+          fail(line_no, analyze::codes::kMalformedCard,
+               "F/H card: <name> o+ o- Vsensor gain");
         }
         auto* sensor = dynamic_cast<dev::VoltageSource*>(c.find_device(tokens[3]));
         if (sensor == nullptr) {
-          fail(line_no, "controlling source not found (must be a V card declared "
-                        "earlier): " + tokens[3]);
+          fail(line_no, analyze::codes::kBadReference,
+               "controlling source not found (must be a V card declared "
+               "earlier): " + tokens[3]);
         }
         if (kind == 'F') {
           c.add<dev::Cccs>(head, node(1), node(2), *sensor, value(tokens[4]));
@@ -393,7 +483,7 @@ ParsedNetlist parse_netlist(const std::string& text) {
         break;
       }
       case 'D': {
-        if (tokens.size() < 3) fail(line_no, "D card: D<name> anode cathode");
+        if (tokens.size() < 3) fail(line_no, analyze::codes::kMalformedCard, "D card: D<name> anode cathode");
         const auto options = parse_options(tokens, 3, line_no);
         dev::DiodeParams p;
         if (options.count("is")) p.saturation_current = options.at("is");
@@ -403,7 +493,8 @@ ParsedNetlist parse_netlist(const std::string& text) {
       }
       case 'M': {
         if (tokens.size() < 6) {
-          fail(line_no, "M card: M<name> d g s b NMOS|PMOS [W=..] [L=..]");
+          fail(line_no, analyze::codes::kMalformedCard,
+               "M card: M<name> d g s b NMOS|PMOS [W=..] [L=..]");
         }
         const std::string model = lower(tokens[5]);
         double w = 1e-6, l = 0.5e-6;
@@ -416,7 +507,7 @@ ParsedNetlist parse_netlist(const std::string& text) {
         } else if (model == "pmos") {
           p = dev::tech130hv::pmos(w, l);
         } else {
-          fail(line_no, "unknown MOSFET model: " + tokens[5]);
+          fail(line_no, analyze::codes::kUnknownWaveform, "unknown MOSFET model: " + tokens[5]);
         }
         if (options.count("vt0")) p.vt0 = options.at("vt0");
         if (options.count("kp")) p.kp = options.at("kp");
@@ -425,7 +516,7 @@ ParsedNetlist parse_netlist(const std::string& text) {
         break;
       }
       case 'S': {
-        if (tokens.size() < 5) fail(line_no, "S card: S<name> a b c+ c- [VT=..]");
+        if (tokens.size() < 5) fail(line_no, analyze::codes::kMalformedCard, "S card: S<name> a b c+ c- [VT=..]");
         const auto options = parse_options(tokens, 5, line_no);
         dev::VSwitch::Params p;
         if (options.count("vt")) p.threshold = options.at("vt");
@@ -436,7 +527,8 @@ ParsedNetlist parse_netlist(const std::string& text) {
       }
       case 'X': {
         if (tokens.size() < 4 || lower(tokens[3]) != "oxram") {
-          fail(line_no, "X card: X<name> te be OXRAM [GAP=..] [VIRGIN=0|1]");
+          fail(line_no, analyze::codes::kMalformedCard,
+               "X card: X<name> te be OXRAM [GAP=..] [VIRGIN=0|1]");
         }
         const auto options = parse_options(tokens, 4, line_no);
         oxram::OxramParams p;
@@ -447,10 +539,16 @@ ParsedNetlist parse_netlist(const std::string& text) {
         break;
       }
       default:
-        fail(line_no, "unknown device card: " + head);
+        fail(line_no, analyze::codes::kUnknownCard, "unknown device card: " + head);
+    }
+    } catch (const NetlistError&) {
+      throw;
+    } catch (const InvalidArgumentError& e) {
+      fail(line_no, analyze::codes::kBadValue, e.what());
     }
   }
 
+  out.lint.suppress(out.suppressed);
   return out;
 }
 

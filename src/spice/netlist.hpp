@@ -24,30 +24,66 @@
 //   S                                 switch: a b c+ c- [VT=..] [RON=..]
 //                                     [ROFF=..]
 //   X<name> te be OXRAM               OxRAM cell: [GAP=..] [VIRGIN=0|1]
-// Directives: .param NAME=VALUE..., .end, * / ; comments, + continuations.
+// Directives: .param NAME=VALUE..., .nolint CODE..., .end, * / ; comments,
+// + continuations.
 //
 // Values accept SI suffixes (f p n u m k meg g t) and {expressions} over
 // numbers and .param names with + - * / and parentheses.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "spice/analyze/diagnostic.hpp"
 #include "spice/circuit.hpp"
+#include "util/error.hpp"
 
 namespace oxmlc::spice {
+
+// Structured parse failure: carries the 1-based netlist line and a stable
+// OXP0xx code alongside the human message (which stays line-prefixed, so
+// existing catch-and-print callers lose nothing).
+class NetlistError : public InvalidArgumentError {
+ public:
+  NetlistError(std::size_t line, std::string code, const std::string& message)
+      : InvalidArgumentError("netlist line " + std::to_string(line) + " [" + code +
+                             "]: " + message),
+        line_(line),
+        code_(std::move(code)) {}
+
+  std::size_t line() const { return line_; }
+  const std::string& code() const { return code_; }
+
+ private:
+  std::size_t line_;
+  std::string code_;
+};
 
 struct ParsedNetlist {
   Circuit circuit;
   std::string title;                         // first line when it is not a card
   std::map<std::string, double> parameters;  // final .param table
   std::vector<std::string> device_names;     // in card order
+  // Parser-side lint findings (OXA007 suspicious unit suffixes), already
+  // filtered through the netlist's `.nolint` directives.
+  analyze::DiagnosticReport lint;
+  // Codes collected from `.nolint CODE...` directives; forward to
+  // analyze::AnalyzerOptions::suppress when analyzing the parsed circuit.
+  std::vector<std::string> suppressed;
 };
 
 // Parses the netlist text and builds the circuit (not yet finalized, so
 // callers may add probes/devices programmatically before analysis).
-// Throws InvalidArgumentError with a line-numbered message on malformed input.
+// Throws NetlistError (line number + OXP0xx code) on malformed input:
+//   OXP001  unknown device card
+//   OXP002  unknown directive
+//   OXP003  malformed card (missing nodes/tokens, unbalanced parentheses,
+//           wrong waveform arity)
+//   OXP004  bad value literal or rejected device parameter
+//   OXP005  unknown waveform or device model
+//   OXP006  unresolved reference (F/H controlling source)
 ParsedNetlist parse_netlist(const std::string& text);
 
 // Parses one numeric value with SI suffix ("10k", "1p", "2.5meg", "1e-9") or

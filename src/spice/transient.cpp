@@ -168,7 +168,12 @@ TransientResult run_transient(MnaSystem& system, const TransientOptions& options
       ctx.time = t + dt_step;
       ctx.dt = dt_step;
       x_trial = x;  // seed with previous solution
-      auto newton = num::solve_newton(system, x_trial, options.newton);
+      num::NewtonResult newton;
+      try {
+        newton = num::solve_newton(system, x_trial, options.newton);
+      } catch (const num::SingularMatrixError& error) {
+        system.rethrow_singular(error, "transient t=" + std::to_string(ctx.time));
+      }
       result.newton_iterations += newton.iterations;
       metrics.newton_iterations.add(newton.iterations);
 

@@ -1,0 +1,258 @@
+// Circuit static analyzer: every OXA0xx check, suppression, the MnaSystem
+// precheck gate, and the broken-netlist regression corpus under
+// tools/netlists/broken/ (each fixture declares its expected codes in an
+// `* expect: CODE...` header, mirroring scripts/lint_corpus.py).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "spice/analyze/analyzer.hpp"
+#include "spice/dc.hpp"
+#include "spice/netlist.hpp"
+#include "util/error.hpp"
+
+namespace oxmlc::spice::analyze {
+namespace {
+
+DiagnosticReport analyze_text(const std::string& netlist,
+                              const AnalyzerOptions& options = {}) {
+  auto parsed = parse_netlist(netlist);
+  return analyze_circuit(parsed.circuit, options);
+}
+
+TEST(Analyze, CleanCircuitHasNoFindings) {
+  const auto report = analyze_text(
+      "V1 in 0 DC 1\n"
+      "R1 in out 1k\n"
+      "R2 out 0 2k\n");
+  EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(Analyze, FloatingComponentIsWarningNotError) {
+  const auto report = analyze_text(
+      "V1 in 0 DC 1\n"
+      "R1 in 0 1k\n"
+      "RF1 fa fb 1k\n"
+      "RF2 fa fb 2k\n");
+  EXPECT_TRUE(report.has_code(codes::kFloatingNode));
+  EXPECT_FALSE(report.has_errors());  // gmin rescues it; solvers must not refuse
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(Analyze, ParallelVoltageSourcesAreALoop) {
+  const auto report = analyze_text(
+      "V1 a 0 DC 1\n"
+      "V2 a 0 DC 2\n"
+      "R1 a 0 1k\n");
+  EXPECT_TRUE(report.has_code(codes::kVoltageLoop));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(Analyze, InductorClosesVoltageLoop) {
+  // An inductor is a DC short, so V1 || L1 is as degenerate as V1 || V2.
+  const auto report = analyze_text(
+      "V1 a 0 DC 1\n"
+      "L1 a 0 10u\n"
+      "R1 a 0 1k\n");
+  EXPECT_TRUE(report.has_code(codes::kVoltageLoop));
+}
+
+TEST(Analyze, CurrentSourceCutsetIsError) {
+  const auto report = analyze_text(
+      "I1 0 x DC 1u\n"
+      "C1 x 0 1p\n");
+  EXPECT_TRUE(report.has_code(codes::kCurrentCutset));
+  EXPECT_TRUE(report.has_errors());
+  // The diagnostic names the injecting source.
+  bool named = false;
+  for (const auto& d : report.diagnostics()) {
+    if (d.code == codes::kCurrentCutset) named = d.device == "I1";
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(Analyze, DanglingTerminalIsWarning) {
+  const auto report = analyze_text(
+      "V1 in 0 DC 1\n"
+      "R1 in out 1k\n"
+      "R2 out 0 1k\n"
+      "R3 out orphan 1k\n");
+  EXPECT_TRUE(report.has_code(codes::kDanglingTerminal));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(Analyze, ImplausiblePassiveValueIsWarning) {
+  const auto report = analyze_text(
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1f\n");  // a femto-ohm resistor: '1f' was surely meant otherwise
+  EXPECT_TRUE(report.has_code(codes::kNonPositivePassive));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(Analyze, DuplicateDeviceNamesAreErrors) {
+  const auto report = analyze_text(
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1k\n"
+      "R1 a 0 2k\n");
+  EXPECT_TRUE(report.has_code(codes::kDuplicateDevice));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(Analyze, GroundedSourceIsStructurallySingular) {
+  // Both terminals on the same net: the branch row of V1 is symbolically
+  // empty, so no parameter values can make the MNA matrix non-singular.
+  const auto report = analyze_text("V1 0 0 DC 1\n");
+  EXPECT_TRUE(report.has_code(codes::kStructuralSingular));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(Analyze, MosfetGateNetIsFloatingAtDc) {
+  // A net driven only by MOSFET gates has no DC path: the gate edge is
+  // capacitive in the structural model.
+  const auto report = analyze_text(
+      "VDD vdd 0 DC 3.3\n"
+      "RD vdd d 10k\n"
+      "M1 d g 0 0 NMOS W=2u L=0.5u\n"
+      "CG g 0 1p\n");
+  EXPECT_TRUE(report.has_code(codes::kFloatingNode));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(Analyze, SuppressionDropsListedCodes) {
+  AnalyzerOptions options;
+  options.suppress = {codes::kFloatingNode};
+  const auto report = analyze_text(
+      "V1 in 0 DC 1\n"
+      "R1 in 0 1k\n"
+      "RF1 fa fb 1k\n"
+      "RF2 fa fb 2k\n",
+      options);
+  EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(Analyze, StructuralCheckCanBeSkipped) {
+  AnalyzerOptions options;
+  options.structural_check = false;
+  const auto report = analyze_text("V1 0 0 DC 1\n", options);
+  EXPECT_FALSE(report.has_code(codes::kStructuralSingular));
+}
+
+// --- MnaSystem precheck gate ---
+
+TEST(Analyze, PrecheckFailsFastOnBrokenTopology) {
+  auto parsed = parse_netlist(
+      "V1 a 0 DC 1\n"
+      "V2 a 0 DC 2\n"
+      "R1 a 0 1k\n");
+  MnaSystem system(parsed.circuit);
+  try {
+    solve_dc(system);
+    FAIL() << "expected precheck throw";
+  } catch (const InvalidArgumentError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("OXA002"), std::string::npos) << what;
+    EXPECT_NE(what.find("V2"), std::string::npos) << what;
+  }
+}
+
+TEST(Analyze, PrecheckCanBeDisabled) {
+  auto parsed = parse_netlist(
+      "V1 a 0 DC 1\n"
+      "V2 a 0 DC 2\n"
+      "R1 a 0 1k\n");
+  MnaSystem system(parsed.circuit);
+  DcOptions options;
+  options.precheck = false;
+  // Without the gate the degenerate loop reaches LU, which now names the
+  // offending unknown instead of a bare column index.
+  try {
+    solve_dc(system, options);
+    FAIL() << "expected singular-matrix throw";
+  } catch (const ConvergenceError& e) {
+    EXPECT_NE(std::string(e.what()).find("branch current"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Analyze, PrecheckPassesWarningsThrough) {
+  auto parsed = parse_netlist(
+      "V1 in 0 DC 1\n"
+      "R1 in 0 1k\n"
+      "RF1 fa fb 1k\n"
+      "RF2 fa fb 2k\n");
+  MnaSystem system(parsed.circuit);
+  const auto result = solve_dc(system);  // warnings logged, solve proceeds
+  EXPECT_TRUE(result.converged);
+}
+
+// --- broken-netlist regression corpus ---
+
+std::set<std::string> expected_codes(const std::filesystem::path& netlist) {
+  std::ifstream file(netlist);
+  std::string line;
+  while (std::getline(file, line)) {
+    const auto pos = line.find("expect:");
+    if (line.rfind('*', 0) == 0 && pos != std::string::npos) {
+      std::istringstream is(line.substr(pos + 7));
+      std::set<std::string> codes;
+      std::string code;
+      while (is >> code) codes.insert(code);
+      return codes;
+    }
+  }
+  ADD_FAILURE() << netlist << ": no '* expect: CODE...' header";
+  return {};
+}
+
+// Mirrors `oxmlc_sim --lint`: parse (OXP0xx on failure), analyze, merge the
+// parser-side lint channel.
+std::set<std::string> lint_codes(const std::filesystem::path& netlist) {
+  std::ifstream file(netlist);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  std::set<std::string> codes;
+  try {
+    auto parsed = parse_netlist(buffer.str());
+    AnalyzerOptions options;
+    options.suppress = parsed.suppressed;
+    const DiagnosticReport report = analyze_circuit(parsed.circuit, options);
+    for (const auto& d : report.diagnostics()) codes.insert(d.code);
+    for (const auto& d : parsed.lint.diagnostics()) codes.insert(d.code);
+  } catch (const NetlistError& e) {
+    codes.insert(e.code());
+  }
+  return codes;
+}
+
+TEST(AnalyzeCorpus, BrokenFixturesFlagExpectedCodes) {
+  const std::filesystem::path dir =
+      std::filesystem::path(OXMLC_SOURCE_DIR) / "tools" / "netlists" / "broken";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t fixtures = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".cir") continue;
+    ++fixtures;
+    EXPECT_EQ(lint_codes(entry.path()), expected_codes(entry.path()))
+        << entry.path();
+  }
+  EXPECT_GE(fixtures, 10u);
+}
+
+TEST(AnalyzeCorpus, ShippedNetlistsLintClean) {
+  const std::filesystem::path dir =
+      std::filesystem::path(OXMLC_SOURCE_DIR) / "tools" / "netlists";
+  std::size_t netlists = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".cir") continue;
+    ++netlists;
+    EXPECT_TRUE(lint_codes(entry.path()).empty()) << entry.path();
+  }
+  EXPECT_GE(netlists, 2u);
+}
+
+}  // namespace
+}  // namespace oxmlc::spice::analyze

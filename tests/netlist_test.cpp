@@ -226,3 +226,93 @@ TEST(Netlist, CurrentControlledCardNeedsEarlierSensor) {
 
 }  // namespace
 }  // namespace oxmlc::spice
+
+// Appended coverage: structured parse errors (NetlistError codes + lines) and
+// the parser-side lint channel (.nolint, OXA007 suffix smells).
+namespace oxmlc::spice {
+namespace {
+
+// Parses text expecting failure; returns {code, line} of the NetlistError.
+std::pair<std::string, std::size_t> parse_failure(const std::string& text) {
+  try {
+    parse_netlist(text);
+  } catch (const NetlistError& e) {
+    return {e.code(), e.line()};
+  }
+  ADD_FAILURE() << "expected NetlistError for: " << text;
+  return {"", 0};
+}
+
+TEST(NetlistDiagnostics, UnknownDeviceCard) {
+  const auto [code, line] = parse_failure("R1 a 0 1k\nQ1 a b c\n");
+  EXPECT_EQ(code, "OXP001");
+  EXPECT_EQ(line, 2u);
+}
+
+TEST(NetlistDiagnostics, UnknownDirective) {
+  const auto [code, line] = parse_failure("R1 a 0 1k\n.model foo bar\n");
+  EXPECT_EQ(code, "OXP002");
+  EXPECT_EQ(line, 2u);
+}
+
+TEST(NetlistDiagnostics, MissingNodeToken) {
+  const auto [code, line] = parse_failure("V1 in\n");
+  EXPECT_EQ(code, "OXP003");
+  EXPECT_EQ(line, 1u);
+}
+
+TEST(NetlistDiagnostics, MalformedCardArity) {
+  EXPECT_EQ(parse_failure("R1 a 0\n").first, "OXP003");              // missing value
+  EXPECT_EQ(parse_failure("V1 a 0 PULSE(1)\n").first, "OXP003");     // PULSE arity
+  EXPECT_EQ(parse_failure("V1 a 0 PWL(1 2 3)\n").first, "OXP003");   // odd PWL pairs
+  EXPECT_EQ(parse_failure("+ orphan\n").first, "OXP003");            // bad continuation
+  EXPECT_EQ(parse_failure("R1 a 0 1k extra)\n").first, "OXP003");    // unbalanced paren
+}
+
+TEST(NetlistDiagnostics, BadValueLiteral) {
+  const auto [code, line] = parse_failure("V1 a 0 1\nR1 a 0 nonsense\n");
+  EXPECT_EQ(code, "OXP004");
+  EXPECT_EQ(line, 2u);
+  // {expression} failures surface the same way.
+  EXPECT_EQ(parse_failure("R1 a 0 {1/0}\n").first, "OXP004");
+}
+
+TEST(NetlistDiagnostics, RejectedDeviceParameterIsRebadged) {
+  // The Resistor constructor rejects -5; the parser re-badges that as OXP004
+  // with the netlist line attached.
+  const auto [code, line] = parse_failure("V1 a 0 1\nR1 a 0 -5\n");
+  EXPECT_EQ(code, "OXP004");
+  EXPECT_EQ(line, 2u);
+}
+
+TEST(NetlistDiagnostics, UnknownWaveformAndModel) {
+  EXPECT_EQ(parse_failure("V1 a 0 TRIANGLE(1 2)\n").first, "OXP005");
+  EXPECT_EQ(parse_failure("M1 d g s b BJT\n").first, "OXP005");
+}
+
+TEST(NetlistDiagnostics, UnresolvedControllingSource) {
+  EXPECT_EQ(parse_failure("F1 0 out Vmissing 2.0\nR1 out 0 1k\n").first, "OXP006");
+}
+
+TEST(NetlistDiagnostics, SuspiciousSuffixLint) {
+  auto parsed = parse_netlist("V1 a 0 1\nR1 a 0 10kk\n");
+  ASSERT_EQ(parsed.lint.diagnostics().size(), 1u);
+  const auto& d = parsed.lint.diagnostics()[0];
+  EXPECT_EQ(d.code, "OXA007");
+  EXPECT_EQ(d.device, "R1");
+  EXPECT_NE(d.message.find("10kk"), std::string::npos);
+  EXPECT_NE(d.message.find("line 2"), std::string::npos);
+  // Legitimate unit tails stay silent.
+  EXPECT_TRUE(parse_netlist("R1 a 0 10kohm\nC1 a 0 5uF\n").lint.empty());
+}
+
+TEST(NetlistDiagnostics, NolintSuppressesParserLint) {
+  auto parsed = parse_netlist(".nolint OXA007 OXA001\nV1 a 0 1\nR1 a 0 10kk\n");
+  EXPECT_TRUE(parsed.lint.empty());
+  ASSERT_EQ(parsed.suppressed.size(), 2u);
+  EXPECT_EQ(parsed.suppressed[0], "OXA007");
+  EXPECT_EQ(parsed.suppressed[1], "OXA001");
+}
+
+}  // namespace
+}  // namespace oxmlc::spice

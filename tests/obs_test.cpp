@@ -227,6 +227,18 @@ TEST(ObsJson, ParseRejectsMalformedInput) {
   EXPECT_THROW(Json::parse("{'a':1}"), InvalidArgumentError);
 }
 
+// Pins the duplicate-key policy: the parser rejects duplicates instead of
+// silently keeping the last value. Nested objects and distinct keys at
+// different depths stay legal.
+TEST(ObsJson, ParseRejectsDuplicateObjectKeys) {
+  EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), InvalidArgumentError);
+  EXPECT_THROW(Json::parse("{\"x\":{\"k\":1,\"k\":2}}"), InvalidArgumentError);
+  // Same key in sibling objects is fine.
+  const Json ok = Json::parse("{\"x\":{\"k\":1},\"y\":{\"k\":2}}");
+  EXPECT_EQ(ok.get("x").get("k").as_number(), 1.0);
+  EXPECT_EQ(ok.get("y").get("k").as_number(), 2.0);
+}
+
 TEST(ObsJson, TypeMismatchAccessThrows) {
   Json j(1.5);
   EXPECT_THROW(j.as_string(), InvalidArgumentError);

@@ -420,5 +420,23 @@ TEST(Transient, IntegrateTrapezoid) {
   EXPECT_DOUBLE_EQ(TransientResult::integrate(t, v), 2.0);
 }
 
+TEST(Dc, SingularFailureNamesOffendingUnknown) {
+  // A VCVS whose output senses itself with unity gain: V(n1) = 1 * V(n1).
+  // The stamps exist symbolically (the static analyzer's pattern check
+  // passes) but cancel numerically, so LU hits a zero pivot — and the error
+  // must name the circuit unknown, not a bare matrix column.
+  Circuit c;
+  const int n1 = c.node("n1");
+  c.add<dev::Vcvs>("E1", n1, kGround, n1, kGround, 1.0);
+  MnaSystem system(c);
+  try {
+    solve_dc(system);
+    FAIL() << "expected singular-matrix throw";
+  } catch (const ConvergenceError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("branch current of 'E1'"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace oxmlc::spice

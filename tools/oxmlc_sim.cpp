@@ -6,6 +6,8 @@
 //             --csv waves.csv netlist.cir        selected probes + CSV dump
 //   oxmlc_sim --plot out --tran 5u netlist.cir   ASCII waveform of one node
 //   oxmlc_sim --qlc --trials 50 --metrics m.json QLC program run + telemetry
+//   oxmlc_sim --lint netlist.cir                 static analysis only (no solve)
+//   oxmlc_sim --lint --json netlist.cir          ... as oxmlc.lint.v1 JSON
 //
 // Every mode accepts `--metrics out.json`: after the analysis the global
 // observability registry (Newton/DC/transient solver counters and timers,
@@ -27,6 +29,7 @@
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
 #include "spice/ac.hpp"
+#include "spice/analyze/analyzer.hpp"
 #include "spice/dc.hpp"
 #include "spice/netlist.hpp"
 #include "spice/transient.hpp"
@@ -43,6 +46,8 @@ struct CliOptions {
   std::string netlist_path;
   bool transient = false;
   bool ac = false;
+  bool lint = false;
+  bool json = false;
   bool qlc = false;
   std::size_t qlc_bits = 4;
   std::size_t qlc_trials = 50;
@@ -67,6 +72,9 @@ struct CliOptions {
                "  --probe <node>      record this node (repeatable; default: all)\n"
                "  --plot <node>       ASCII-plot this node's waveform (repeatable)\n"
                "  --csv <file>        write the recorded waveforms as CSV\n"
+               "  --lint              static analysis only: parse, run the circuit\n"
+               "                      analyzer (OXA0xx codes), exit 1 on errors\n"
+               "  --json              --lint output as oxmlc.lint.v1 JSON\n"
                "  --qlc               QLC program run (no netlist): MC program of\n"
                "                      every level + one transistor-level terminated RST\n"
                "  --bits <n>          QLC mode: bits per cell (default 4)\n"
@@ -101,6 +109,10 @@ CliOptions parse_cli(int argc, char** argv) {
       options.csv_path = next();
     } else if (arg == "--metrics") {
       options.metrics_path = next();
+    } else if (arg == "--lint") {
+      options.lint = true;
+    } else if (arg == "--json") {
+      options.json = true;
     } else if (arg == "--qlc") {
       options.qlc = true;
     } else if (arg == "--bits") {
@@ -166,6 +178,42 @@ int run_qlc(const CliOptions& options) {
             << ", " << wp_result.transient.steps_accepted << " steps, "
             << wp_result.transient.newton_iterations << " Newton iterations\n";
   return 0;
+}
+
+// --lint: parse + static analysis, no solve. Exit status 0 when clean or
+// warnings only, 1 on error-severity findings (including parse failures, which
+// surface as a single OXP0xx diagnostic so the output shape stays uniform).
+int run_lint(const CliOptions& options, const std::string& netlist_text) {
+  spice::analyze::DiagnosticReport report;
+  bool parsed_ok = false;
+  spice::ParsedNetlist parsed;
+  try {
+    parsed = spice::parse_netlist(netlist_text);
+    parsed_ok = true;
+  } catch (const spice::NetlistError& e) {
+    spice::analyze::Diagnostic d;
+    d.severity = spice::analyze::Severity::kError;
+    d.code = e.code();
+    d.message = e.what();
+    report.add(std::move(d));
+  }
+
+  if (parsed_ok) {
+    spice::analyze::AnalyzerOptions analyzer;
+    analyzer.suppress = parsed.suppressed;
+    report = spice::analyze::analyze_circuit(parsed.circuit, analyzer);
+    // Parser-side findings (OXA007) were already filtered through .nolint.
+    for (const auto& d : parsed.lint.diagnostics()) report.add(d);
+  }
+
+  if (options.json) {
+    obs::Json j = report.to_json();
+    j.set("netlist", options.netlist_path);
+    std::cout << j.dump(2) << "\n";
+  } else {
+    std::cout << options.netlist_path << ":\n" << report.format();
+  }
+  return report.has_errors() ? 1 : 0;
 }
 
 int run_op(spice::ParsedNetlist& parsed) {
@@ -320,6 +368,7 @@ int main(int argc, char** argv) {
     }
     std::stringstream buffer;
     buffer << file.rdbuf();
+    if (options.lint) return finish(run_lint(options, buffer.str()));
     spice::ParsedNetlist parsed = spice::parse_netlist(buffer.str());
     if (!parsed.title.empty()) std::cout << "*" << parsed.title << "\n";
 
