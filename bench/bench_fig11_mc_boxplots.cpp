@@ -77,6 +77,16 @@ int main(int argc, char** argv) {
                  std::to_string(s.minimum), std::to_string(s.maximum),
                  std::to_string(s.q1), std::to_string(s.q3)});
   }
+  // MC scheduling telemetry: the before/after line for the chunked-claiming
+  // runner (chunks claimed, throughput, thread count). The same registry
+  // snapshot lands in the metrics sidecar written by save_csv.
+  const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+  std::cout << "\n  mc scheduling: threads=" << snapshot.gauge("mc.threads")
+            << "  chunks_claimed=" << snapshot.counter("mc.chunks_claimed")
+            << "  trials=" << snapshot.counter("mc.trials")
+            << "  trials/s=" << format_si(snapshot.gauge("mc.trials_per_second"), "", 3)
+            << "  trial_failures=" << snapshot.counter("mc.trial_failures") << "\n";
+
   bench::save_csv(csv, "fig11_mc_boxplots.csv");
   return 0;
 }

@@ -5,9 +5,13 @@
 // property that makes the EXPERIMENTS.md numbers reproducible.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -24,6 +28,8 @@ namespace detail {
 struct RunnerMetrics {
   obs::Counter& runs = obs::registry().counter("mc.runs");
   obs::Counter& trials = obs::registry().counter("mc.trials");
+  obs::Counter& chunks_claimed = obs::registry().counter("mc.chunks_claimed");
+  obs::Counter& trial_failures = obs::registry().counter("mc.trial_failures");
   obs::Gauge& threads = obs::registry().gauge("mc.threads");
   obs::Gauge& throughput = obs::registry().gauge("mc.trials_per_second");
   obs::Timer& trial_time = obs::registry().timer("mc.trial_time");
@@ -34,6 +40,17 @@ struct RunnerMetrics {
     return metrics;
   }
 };
+
+// Trials claimed per atomic fetch. Aim for ~8 chunks per worker: large enough
+// that a per-trial context (circuit + solver workspace) is reused across many
+// trials and the claim counter stays cold, small enough that a straggler chunk
+// cannot idle the rest of the pool.
+inline std::size_t claim_chunk(std::size_t trials, std::size_t threads) {
+  return std::max<std::size_t>(1, trials / (threads * 8));
+}
+
+// Placeholder context for the context-free run_trials overload.
+struct NoContext {};
 
 }  // namespace detail
 
@@ -46,12 +63,24 @@ struct McOptions {
 // Derives the deterministic Rng of one trial.
 Rng trial_rng(std::uint64_t seed, std::size_t trial);
 
-// Runs `trial(index, rng)` for every trial and collects the returned samples
-// in trial order. The trial function must be thread-compatible (no shared
-// mutable state); each invocation gets a private Rng.
-template <typename Sample>
-std::vector<Sample> run_trials(const McOptions& options,
-                               const std::function<Sample(std::size_t, Rng&)>& trial) {
+// Runs `trial(index, rng, context)` for every trial and collects the returned
+// samples in trial order. Scheduling is dynamic (workers claim contiguous
+// chunks off an atomic cursor) but samples stay bit-identical for any thread
+// count because each trial's Rng depends on (seed, index) alone.
+//
+// `make_context` builds one per-worker context (circuit, solver workspaces,
+// …) that is reused across every trial and chunk that worker executes; the
+// trial function must not share mutable state across contexts. A context must
+// not affect results — it is an allocation cache, not a channel.
+//
+// A throwing trial (or context factory) aborts the run: in-flight trials
+// finish, no new chunks are claimed, the first exception is rethrown on the
+// caller after the pool joins, and every failure increments
+// `mc.trial_failures`.
+template <typename Sample, typename Context>
+std::vector<Sample> run_trials(
+    const McOptions& options, const std::function<Context()>& make_context,
+    const std::function<Sample(std::size_t, Rng&, Context&)>& trial) {
   std::vector<Sample> samples(options.trials);
   std::size_t threads = options.threads ? options.threads
                                         : std::max(1u, std::thread::hardware_concurrency());
@@ -64,28 +93,60 @@ std::vector<Sample> run_trials(const McOptions& options,
   const auto run_start = std::chrono::steady_clock::now();
   obs::ScopedTimer run_timer(metrics.run_time);
 
-  const auto timed_trial = [&](std::size_t i, Rng& rng) {
+  const auto timed_trial = [&](std::size_t i, Rng& rng, Context& context) {
     obs::ScopedTimer trial_timer(metrics.trial_time);
-    return trial(i, rng);
+    return trial(i, rng, context);
   };
 
   if (threads <= 1) {
+    Context context = make_context();
     for (std::size_t i = 0; i < options.trials; ++i) {
       Rng rng = trial_rng(options.seed, i);
-      samples[i] = timed_trial(i, rng);
+      try {
+        samples[i] = timed_trial(i, rng, context);
+      } catch (...) {
+        metrics.trial_failures.add();
+        throw;
+      }
     }
   } else {
+    const std::size_t chunk = detail::claim_chunk(options.trials, threads);
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const auto record_failure = [&] {
+      metrics.trial_failures.add();
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_release);
+    };
+
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) {
-      pool.emplace_back([&, t] {
-        for (std::size_t i = t; i < options.trials; i += threads) {
-          Rng rng = trial_rng(options.seed, i);
-          samples[i] = timed_trial(i, rng);
+      pool.emplace_back([&] {
+        try {
+          Context context = make_context();
+          while (!failed.load(std::memory_order_acquire)) {
+            const std::size_t begin =
+                cursor.fetch_add(chunk, std::memory_order_relaxed);
+            if (begin >= options.trials) break;
+            metrics.chunks_claimed.add();
+            const std::size_t end = std::min(begin + chunk, options.trials);
+            for (std::size_t i = begin; i < end; ++i) {
+              Rng rng = trial_rng(options.seed, i);
+              samples[i] = timed_trial(i, rng, context);
+            }
+          }
+        } catch (...) {
+          record_failure();
         }
       });
     }
     for (auto& worker : pool) worker.join();
+    if (first_error) std::rethrow_exception(first_error);
   }
 
   const double elapsed =
@@ -95,6 +156,15 @@ std::vector<Sample> run_trials(const McOptions& options,
     metrics.throughput.set(static_cast<double>(options.trials) / elapsed);
   }
   return samples;
+}
+
+// Context-free convenience overload: `trial(index, rng)`.
+template <typename Sample>
+std::vector<Sample> run_trials(const McOptions& options,
+                               const std::function<Sample(std::size_t, Rng&)>& trial) {
+  return run_trials<Sample, detail::NoContext>(
+      options, [] { return detail::NoContext{}; },
+      [&trial](std::size_t i, Rng& rng, detail::NoContext&) { return trial(i, rng); });
 }
 
 }  // namespace oxmlc::mc

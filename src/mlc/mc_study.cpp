@@ -17,9 +17,8 @@ McStudyConfig paper_mc_study(std::size_t bits, std::size_t trials) {
   return config;
 }
 
-LevelDistribution run_single_level(const McStudyConfig& config, std::size_t level) {
-  const QlcProgrammer programmer(config.qlc);
-
+LevelDistribution run_single_level(const McStudyConfig& config,
+                                   const QlcProgrammer& programmer, std::size_t level) {
   struct Sample {
     double resistance = 0.0;
     double energy = 0.0;
@@ -53,11 +52,21 @@ LevelDistribution run_single_level(const McStudyConfig& config, std::size_t leve
   return dist;
 }
 
+LevelDistribution run_single_level(const McStudyConfig& config, std::size_t level) {
+  const QlcProgrammer programmer(config.qlc);
+  return run_single_level(config, programmer, level);
+}
+
 std::vector<LevelDistribution> run_level_study(const McStudyConfig& config) {
+  // One programmer for the whole study: its constructor derives the read
+  // references by solving the read stack per level, which repeated per-level
+  // construction would redo 16×. Trials only read it, so sharing is safe —
+  // and results are unchanged because trials depend on (seed, index) alone.
+  const QlcProgrammer programmer(config.qlc);
   std::vector<LevelDistribution> distributions;
   distributions.reserve(config.qlc.allocation.count());
   for (std::size_t level = 0; level < config.qlc.allocation.count(); ++level) {
-    distributions.push_back(run_single_level(config, level));
+    distributions.push_back(run_single_level(config, programmer, level));
   }
   return distributions;
 }

@@ -29,7 +29,12 @@ McStudyConfig paper_mc_study(std::size_t bits = 4, std::size_t trials = 500);
 // (mc.seed, level) so levels are independent and reproducible.
 std::vector<LevelDistribution> run_level_study(const McStudyConfig& config);
 
-// Runs one level only (used by tests and partial benches).
+// Runs one level only (used by tests and partial benches). The programmer
+// overload shares one QlcProgrammer — whose construction solves the read
+// stack for every reference level — across calls; run_level_study uses it to
+// build the programmer once instead of once per level.
 LevelDistribution run_single_level(const McStudyConfig& config, std::size_t level);
+LevelDistribution run_single_level(const McStudyConfig& config,
+                                   const QlcProgrammer& programmer, std::size_t level);
 
 }  // namespace oxmlc::mlc

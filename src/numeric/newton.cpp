@@ -19,6 +19,7 @@ struct NewtonMetrics {
   obs::Counter& assemblies = obs::registry().counter("newton.assemblies");
   obs::Counter& damping_halvings = obs::registry().counter("newton.damping_halvings");
   obs::Counter& failures = obs::registry().counter("newton.convergence_failures");
+  obs::Counter& refactorizations = obs::registry().counter("newton.refactorizations");
   obs::Timer& solve_time = obs::registry().timer("newton.solve_time");
 
   static NewtonMetrics& get() {
@@ -31,6 +32,12 @@ struct NewtonMetrics {
 
 NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
                           const NewtonOptions& options) {
+  NewtonWorkspace workspace;
+  return solve_newton(system, x, options, workspace);
+}
+
+NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
+                          const NewtonOptions& options, NewtonWorkspace& workspace) {
   const std::size_t n = system.dimension();
   OXMLC_CHECK(x.size() == n, "solve_newton: initial guess has wrong dimension");
 
@@ -38,12 +45,19 @@ NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
   metrics.solves.add();
   obs::ScopedTimer solve_timer(metrics.solve_time);
 
-  TripletMatrix jacobian(n);
-  std::vector<double> residual(n, 0.0);
-  std::vector<double> dx(n, 0.0);
-  std::vector<double> x_trial(n, 0.0);
-  std::vector<double> residual_trial(n, 0.0);
-  LinearSolver solver;
+  // Size the workspace for this system; assign() keeps capacity on reuse, so
+  // a warm workspace does not allocate.
+  TripletMatrix& jacobian = workspace.jacobian;
+  jacobian.resize(n);
+  std::vector<double>& residual = workspace.residual;
+  std::vector<double>& dx = workspace.dx;
+  std::vector<double>& x_trial = workspace.x_trial;
+  std::vector<double>& residual_trial = workspace.residual_trial;
+  residual.assign(n, 0.0);
+  dx.assign(n, 0.0);
+  x_trial.assign(n, 0.0);
+  residual_trial.assign(n, 0.0);
+  LinearSolver& solver = workspace.solver;
 
   NewtonResult result;
 
@@ -63,8 +77,9 @@ NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
       return result;
     }
 
-    solver.factorize(jacobian);
+    solver.factorize_cached(jacobian);
     metrics.factorizations.add();
+    if (solver.last_refactorized()) metrics.refactorizations.add();
     // Solve J dx = -F.
     for (std::size_t i = 0; i < n; ++i) residual[i] = -residual[i];
     solver.solve(residual, dx);

@@ -52,9 +52,29 @@ struct NewtonResult {
   double final_update_norm = 0.0;  // weighted RMS of last dx
 };
 
+// Caller-owned scratch for solve_newton. A workspace amortizes the Jacobian
+// triplet buffer, the iteration vectors, and — through
+// LinearSolver::factorize_cached — the CSR assembly pattern and LU symbolic
+// analysis across every Newton solve that reuses it. Reuse is what makes the
+// two-phase LU pay off: a transient run passes the same workspace to every
+// timestep, so each iteration after the first is a numeric-only refactorize.
+// Not thread-safe; use one workspace per thread.
+struct NewtonWorkspace {
+  TripletMatrix jacobian;
+  std::vector<double> residual;
+  std::vector<double> dx;
+  std::vector<double> x_trial;
+  std::vector<double> residual_trial;
+  LinearSolver solver;
+};
+
 // Iterates x_{k+1} = x_k + s * dx, J dx = -F, until both the weighted update
 // norm and the residual infinity-norm are under tolerance.
 // `x` carries the initial guess in and the solution out.
+// The workspace overload reuses caller-owned buffers and the cached
+// factorization pattern; the plain overload allocates a fresh workspace.
+NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
+                          const NewtonOptions& options, NewtonWorkspace& workspace);
 NewtonResult solve_newton(NonlinearSystem& system, std::span<double> x,
                           const NewtonOptions& options = {});
 

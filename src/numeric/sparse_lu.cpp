@@ -2,17 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "numeric/linear_error.hpp"
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace oxmlc::num {
+namespace {
+
+struct Entry {
+  std::size_t col;
+  double value;
+};
+
+// Hot-path telemetry for the cached factorization path.
+struct SparseLuMetrics {
+  obs::Counter& pattern_hits = obs::registry().counter("sparse_lu.pattern_hits");
+  obs::Counter& pattern_misses = obs::registry().counter("sparse_lu.pattern_misses");
+  obs::Counter& fallbacks = obs::registry().counter("sparse_lu.refactorize_fallbacks");
+
+  static SparseLuMetrics& get() {
+    static SparseLuMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 void SparseLu::factorize(const CsrMatrix& a, double pivot_tol) {
   n_ = a.size();
   perm_.resize(n_);
-  lower_.assign(n_, {});
-  upper_.assign(n_, {});
+
+  // Per-row factor output, flattened after elimination.
+  std::vector<std::vector<Entry>> lower(n_);
+  std::vector<std::vector<Entry>> upper(n_);
 
   // Working rows: sorted (col, value) vectors, mutated during elimination.
   std::vector<std::vector<Entry>> rows(n_);
@@ -68,7 +92,7 @@ void SparseLu::factorize(const CsrMatrix& a, double pivot_tol) {
     // Move the pivot row's entries (col >= k) into U.
     auto& prow = rows[pivot_physical];
     for (const Entry& e : prow) {
-      if (e.col >= k) upper_[k].push_back(e);
+      if (e.col >= k) upper[k].push_back(e);
     }
 
     // Eliminate column k from all remaining rows that contain it.
@@ -77,7 +101,7 @@ void SparseLu::factorize(const CsrMatrix& a, double pivot_tol) {
       const double a_rk = leading_value(r, k);
       if (a_rk == 0.0) continue;
       const double factor = a_rk / pivot;
-      lower_[i].push_back({k, factor});
+      lower[i].push_back({k, factor});
 
       // Scatter row r (cols > k) into the work buffer...
       touched.clear();
@@ -88,7 +112,7 @@ void SparseLu::factorize(const CsrMatrix& a, double pivot_tol) {
         touched.push_back(e.col);
       }
       // ...subtract factor * pivot row...
-      for (const Entry& e : upper_[k]) {
+      for (const Entry& e : upper[k]) {
         if (e.col == k) continue;
         if (!occupied[e.col]) {
           occupied[e.col] = true;
@@ -111,6 +135,161 @@ void SparseLu::factorize(const CsrMatrix& a, double pivot_tol) {
   }
 
   perm_ = row_order;
+
+  // Flatten the factors (L rows carry ascending elimination columns by
+  // construction; U rows are sorted with the diagonal first).
+  l_offsets_.assign(n_ + 1, 0);
+  u_offsets_.assign(n_ + 1, 0);
+  l_cols_.clear();
+  l_values_.clear();
+  u_cols_.clear();
+  u_values_.clear();
+  u_diag_.assign(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    l_offsets_[i] = l_cols_.size();
+    for (const Entry& e : lower[i]) {
+      l_cols_.push_back(e.col);
+      l_values_.push_back(e.value);
+    }
+    u_offsets_[i] = u_cols_.size();
+    for (const Entry& e : upper[i]) {
+      u_cols_.push_back(e.col);
+      u_values_.push_back(e.value);
+    }
+    u_diag_[i] = upper[i].front().value;
+  }
+  l_offsets_[n_] = l_cols_.size();
+  u_offsets_[n_] = u_cols_.size();
+
+  // Freeze the input pattern as the refactorize() key. The numeric fill
+  // pattern flattened above may omit entries a different-valued matrix would
+  // produce (exact cancellations), so the structural pattern is re-derived by
+  // analyze() on the first refactorize.
+  a_offsets_.assign(a.row_offsets().begin(), a.row_offsets().end());
+  a_cols_.assign(a.col_indices().begin(), a.col_indices().end());
+  analyzed_ = false;
+}
+
+bool SparseLu::pattern_matches(const CsrMatrix& a) const {
+  return a.size() == n_ &&
+         a.row_offsets().size() == a_offsets_.size() &&
+         a.col_indices().size() == a_cols_.size() &&
+         std::equal(a.row_offsets().begin(), a.row_offsets().end(), a_offsets_.begin()) &&
+         std::equal(a.col_indices().begin(), a.col_indices().end(), a_cols_.begin());
+}
+
+void SparseLu::analyze(const CsrMatrix& a) {
+  // Structural elimination under the frozen permutation: entry presence only,
+  // no values, so no cancellation — the resulting L/U patterns are supersets
+  // of every numeric factorization that uses perm_. inv_perm maps a physical
+  // A row to its elimination position.
+  std::vector<std::size_t> inv_perm(n_);
+  for (std::size_t i = 0; i < n_; ++i) inv_perm[perm_[i]] = i;
+
+  std::vector<std::vector<std::size_t>> u_pattern(n_);
+  std::vector<char> occupied(n_, 0);
+  std::vector<std::size_t> touched;
+  touched.reserve(64);
+
+  l_offsets_.assign(n_ + 1, 0);
+  l_cols_.clear();
+
+  const auto offsets = a.row_offsets();
+  const auto cols = a.col_indices();
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t r = perm_[i];
+    touched.clear();
+    for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+      occupied[cols[k]] = 1;
+      touched.push_back(cols[k]);
+    }
+    // Ascending scan over earlier pivots: each hit adds an L entry and unions
+    // in that pivot's U row (O(n) per row; the symbolic pass runs once per
+    // pattern, so the simplicity beats an elimination-tree traversal here).
+    l_offsets_[i] = l_cols_.size();
+    for (std::size_t k = 0; k < i; ++k) {
+      if (!occupied[k]) continue;
+      l_cols_.push_back(k);
+      for (std::size_t j = 1; j < u_pattern[k].size(); ++j) {
+        const std::size_t c = u_pattern[k][j];
+        if (!occupied[c]) {
+          occupied[c] = 1;
+          touched.push_back(c);
+        }
+      }
+    }
+    // U row i: surviving columns >= i, diagonal first. The diagonal is forced
+    // into the pattern — if a matrix leaves it numerically zero the pivot
+    // check in refactorize() rejects it.
+    auto& urow = u_pattern[i];
+    urow.push_back(i);
+    for (std::size_t c : touched) {
+      if (c > i) urow.push_back(c);
+    }
+    std::sort(urow.begin() + 1, urow.end());
+    urow.erase(std::unique(urow.begin() + 1, urow.end()), urow.end());
+    for (std::size_t c : touched) occupied[c] = 0;
+    occupied[i] = 0;
+  }
+  l_offsets_[n_] = l_cols_.size();
+
+  u_offsets_.assign(n_ + 1, 0);
+  u_cols_.clear();
+  for (std::size_t i = 0; i < n_; ++i) {
+    u_offsets_[i] = u_cols_.size();
+    u_cols_.insert(u_cols_.end(), u_pattern[i].begin(), u_pattern[i].end());
+  }
+  u_offsets_[n_] = u_cols_.size();
+
+  l_values_.assign(l_cols_.size(), 0.0);
+  u_values_.assign(u_cols_.size(), 0.0);
+  u_diag_.assign(n_, 0.0);
+  work_.assign(n_, 0.0);
+}
+
+bool SparseLu::refactorize(const CsrMatrix& a, double pivot_tol, double degrade_ratio) {
+  if (!factorized() || !pattern_matches(a)) return false;
+  if (!analyzed_) {
+    analyze(a);
+    analyzed_ = true;
+  }
+
+  const auto offsets = a.row_offsets();
+  const auto cols = a.col_indices();
+  const auto vals = a.values();
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    // Zero the dense scratch on this row's frozen pattern, then scatter A.
+    for (std::size_t j = l_offsets_[i]; j < l_offsets_[i + 1]; ++j) work_[l_cols_[j]] = 0.0;
+    for (std::size_t j = u_offsets_[i]; j < u_offsets_[i + 1]; ++j) work_[u_cols_[j]] = 0.0;
+    const std::size_t r = perm_[i];
+    for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) work_[cols[k]] += vals[k];
+
+    // Left-looking elimination over the frozen L pattern (ascending columns).
+    for (std::size_t j = l_offsets_[i]; j < l_offsets_[i + 1]; ++j) {
+      const std::size_t k = l_cols_[j];
+      const double factor = work_[k] / u_diag_[k];
+      l_values_[j] = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t m = u_offsets_[k] + 1; m < u_offsets_[k + 1]; ++m) {
+        work_[u_cols_[m]] -= factor * u_values_[m];
+      }
+    }
+
+    // Gather U row i and check the frozen pivot still carries the row.
+    double row_max = 0.0;
+    for (std::size_t j = u_offsets_[i]; j < u_offsets_[i + 1]; ++j) {
+      const double v = work_[u_cols_[j]];
+      u_values_[j] = v;
+      row_max = std::max(row_max, std::fabs(v));
+    }
+    const double diag = u_values_[u_offsets_[i]];
+    u_diag_[i] = diag;
+    if (!(std::fabs(diag) >= pivot_tol) || std::fabs(diag) < degrade_ratio * row_max) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void SparseLu::solve(std::span<const double> b, std::span<double> x) const {
@@ -120,33 +299,25 @@ void SparseLu::solve(std::span<const double> b, std::span<double> x) const {
   // Forward substitution: L y = P b (L has unit diagonal).
   for (std::size_t r = 0; r < n_; ++r) {
     double s = b[perm_[r]];
-    for (const Entry& e : lower_[r]) s -= e.value * x[e.col];
+    for (std::size_t j = l_offsets_[r]; j < l_offsets_[r + 1]; ++j) {
+      s -= l_values_[j] * x[l_cols_[j]];
+    }
     x[r] = s;
   }
-  // Back substitution: U x = y.
+  // Back substitution: U x = y (U rows store the diagonal first).
   for (std::size_t ri = n_; ri-- > 0;) {
     double s = x[ri];
-    double diag = 0.0;
-    for (const Entry& e : upper_[ri]) {
-      if (e.col == ri) {
-        diag = e.value;
-      } else {
-        s -= e.value * x[e.col];
-      }
+    for (std::size_t j = u_offsets_[ri] + 1; j < u_offsets_[ri + 1]; ++j) {
+      s -= u_values_[j] * x[u_cols_[j]];
     }
+    const double diag = u_diag_[ri];
     OXMLC_CHECK(diag != 0.0, "SparseLu: zero diagonal in back substitution");
     x[ri] = s / diag;
   }
 }
 
-std::size_t SparseLu::fill_nnz() const {
-  std::size_t nnz = 0;
-  for (const auto& row : lower_) nnz += row.size();
-  for (const auto& row : upper_) nnz += row.size();
-  return nnz;
-}
-
 void LinearSolver::factorize(const TripletMatrix& triplets) {
+  last_refactorized_ = false;
   dense_active_ = triplets.size() <= kDenseCutoff;
   if (dense_active_) {
     DenseMatrix a(triplets.size(), triplets.size());
@@ -155,6 +326,39 @@ void LinearSolver::factorize(const TripletMatrix& triplets) {
   } else {
     sparse_.factorize(CsrMatrix::from_triplets(triplets));
   }
+}
+
+void LinearSolver::factorize_cached(const TripletMatrix& triplets) {
+  last_refactorized_ = false;
+  dense_active_ = triplets.size() <= kDenseCutoff;
+  if (dense_active_) {
+    const std::size_t n = triplets.size();
+    if (dense_buffer_.rows() != n || dense_buffer_.cols() != n) {
+      dense_buffer_ = DenseMatrix(n, n);
+    } else {
+      dense_buffer_.set_zero();
+    }
+    for (const Triplet& t : triplets.entries()) dense_buffer_.add(t.row, t.col, t.value);
+    dense_.factorize(dense_buffer_);
+    return;
+  }
+
+  SparseLuMetrics& metrics = SparseLuMetrics::get();
+  const CsrMatrix& a = assembly_.compress(triplets);
+  if (assembly_.last_was_hit()) {
+    metrics.pattern_hits.add();
+  } else {
+    metrics.pattern_misses.add();
+  }
+
+  if (assembly_.last_was_hit() && sparse_.factorized()) {
+    if (sparse_.refactorize(a)) {
+      last_refactorized_ = true;
+      return;
+    }
+    metrics.fallbacks.add();
+  }
+  sparse_.factorize(a);
 }
 
 void LinearSolver::solve(std::span<const double> b, std::span<double> x) const {

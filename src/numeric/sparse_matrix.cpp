@@ -55,6 +55,48 @@ void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   }
 }
 
+std::size_t CsrMatrix::value_index(std::size_t row, std::size_t col) const {
+  OXMLC_CHECK(row < n_, "CsrMatrix::value_index row out of range");
+  const auto begin = col_indices_.begin() + static_cast<std::ptrdiff_t>(row_offsets_[row]);
+  const auto end = col_indices_.begin() + static_cast<std::ptrdiff_t>(row_offsets_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return npos;
+  return static_cast<std::size_t>(it - col_indices_.begin());
+}
+
+const CsrMatrix& CsrWorkspace::compress(const TripletMatrix& triplets) {
+  const auto entries = triplets.entries();
+
+  bool hit = valid_ && triplets.size() == csr_.size() && entries.size() == slots_.size();
+  if (hit) {
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      if (entries[k].row != slots_[k].row || entries[k].col != slots_[k].col) {
+        hit = false;
+        break;
+      }
+    }
+  }
+
+  if (hit) {
+    const auto values = csr_.values_mut();
+    std::fill(values.begin(), values.end(), 0.0);
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      values[slots_[k].value_index] += entries[k].value;
+    }
+  } else {
+    csr_ = CsrMatrix::from_triplets(triplets);
+    slots_.resize(entries.size());
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      const std::size_t idx = csr_.value_index(entries[k].row, entries[k].col);
+      OXMLC_CHECK(idx != CsrMatrix::npos, "CsrWorkspace: triplet missing from CSR");
+      slots_[k] = {entries[k].row, entries[k].col, idx};
+    }
+    valid_ = true;
+  }
+  last_was_hit_ = hit;
+  return csr_;
+}
+
 DenseMatrix CsrMatrix::to_dense() const {
   DenseMatrix d(n_, n_);
   for (std::size_t r = 0; r < n_; ++r) {

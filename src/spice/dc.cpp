@@ -12,7 +12,7 @@ namespace {
 num::NewtonResult attempt(MnaSystem& system, std::vector<double>& x,
                           const num::NewtonOptions& newton) {
   try {
-    return num::solve_newton(system, x, newton);
+    return num::solve_newton(system, x, newton, system.workspace().newton);
   } catch (const num::SingularMatrixError& error) {
     // Translate the bare pivot column into circuit vocabulary before the
     // exception escapes to callers that never saw the matrix.

@@ -11,6 +11,16 @@
 
 namespace oxmlc::spice {
 
+// Reusable per-system solver scratch. Ownership rules:
+//  - lives exactly as long as its MnaSystem; the DC/transient drivers borrow
+//    it for every solve_newton call so the Jacobian pattern cache and the LU
+//    symbolic analysis persist across timesteps and sweep points;
+//  - NOT thread-safe — Monte-Carlo trials build one Circuit + MnaSystem (and
+//    thus one workspace) per thread and reuse it across claimed chunks.
+struct AssemblyWorkspace {
+  num::NewtonWorkspace newton;
+};
+
 class MnaSystem final : public num::NonlinearSystem {
  public:
   explicit MnaSystem(Circuit& circuit) : circuit_(circuit) {
@@ -35,6 +45,10 @@ class MnaSystem final : public num::NonlinearSystem {
 
   Circuit& circuit() { return circuit_; }
 
+  // Solver scratch reused across every Newton solve on this system (see
+  // AssemblyWorkspace for ownership rules).
+  AssemblyWorkspace& workspace() { return workspace_; }
+
   // Codes the precheck drops (forwarded to the analyzer; set before the first
   // solve — the report is computed once and cached).
   analyze::AnalyzerOptions& analyzer_options() { return analyzer_options_; }
@@ -58,6 +72,7 @@ class MnaSystem final : public num::NonlinearSystem {
  private:
   Circuit& circuit_;
   StampContext context_;
+  AssemblyWorkspace workspace_;
   analyze::AnalyzerOptions analyzer_options_;
   bool prechecked_ = false;
   analyze::DiagnosticReport precheck_report_;

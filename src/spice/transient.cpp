@@ -48,8 +48,14 @@ std::vector<double> collect_breakpoints(Circuit& circuit, double t_stop) {
 }
 
 bool crossed(double before, double after, double threshold, EventDirection direction) {
-  const bool falling = before > threshold && after <= threshold;
-  const bool rising = before < threshold && after >= threshold;
+  // A pre-step value sitting exactly on the threshold still arms the event
+  // (it fires as soon as the signal moves off the threshold in the watched
+  // direction), but a signal resting at the threshold across a step does not
+  // re-fire — `after` must strictly leave the boundary in that case.
+  const bool falling = (before > threshold && after <= threshold) ||
+                       (before == threshold && after < threshold);
+  const bool rising = (before < threshold && after >= threshold) ||
+                      (before == threshold && after > threshold);
   switch (direction) {
     case EventDirection::kFalling: return falling;
     case EventDirection::kRising: return rising;
@@ -148,7 +154,12 @@ TransientResult run_transient(MnaSystem& system, const TransientOptions& options
     while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t + 1e-15) ++next_bp;
     double dt_step = std::min(dt, options.t_stop - t);
     if (next_bp < breakpoints.size() && t + dt_step > breakpoints[next_bp]) {
-      dt_step = breakpoints[next_bp] - t;
+      // Snap to the breakpoint — unless the gap is below dt_min, which would
+      // drive Newton with a degenerate step. Such a breakpoint is merged into
+      // the following step: take (at most) a dt_min step past it and let the
+      // skip loop above consume it on the next iteration.
+      const double gap = breakpoints[next_bp] - t;
+      dt_step = gap >= options.dt_min ? gap : std::min(options.dt_min, dt_step);
     }
     // Device-recommended ceiling (OxRAM state-rate limiting).
     {
@@ -170,7 +181,8 @@ TransientResult run_transient(MnaSystem& system, const TransientOptions& options
       x_trial = x;  // seed with previous solution
       num::NewtonResult newton;
       try {
-        newton = num::solve_newton(system, x_trial, options.newton);
+        newton = num::solve_newton(system, x_trial, options.newton,
+                                   system.workspace().newton);
       } catch (const num::SingularMatrixError& error) {
         system.rethrow_singular(error, "transient t=" + std::to_string(ctx.time));
       }

@@ -243,6 +243,52 @@ TEST(WritePath, StandardPulseOvershootsTerminatedPulseBounds) {
   EXPECT_GT(result_standard.final_resistance, 20.0 * result_terminated.final_resistance);
 }
 
+// The Jacobian pattern of the QLC write-path circuit is fixed across Newton
+// iterates, so the numeric-only refactorize must reproduce full-factorize
+// solutions on this exact hot-path matrix.
+TEST(WritePath, RefactorizeMatchesFactorizeOnWritePathJacobian) {
+  WritePathConfig config;
+  config.iref = 10e-6;
+  WritePath path(config);
+  spice::MnaSystem system(path.circuit());
+  const std::size_t n = system.dimension();
+
+  const auto assemble_at = [&](const std::vector<double>& x) {
+    num::TripletMatrix jacobian(n);
+    std::vector<double> residual(n, 0.0);
+    jacobian.clear();
+    system.assemble(x, jacobian, residual);
+    return num::CsrMatrix::from_triplets(jacobian);
+  };
+
+  // Two operating points: the flat start and a perturbed iterate (different
+  // device conductances, same topology → same pattern).
+  std::vector<double> x0(n, 0.0);
+  std::vector<double> x1(n, 0.0);
+  Rng rng(2024);
+  for (auto& v : x1) v = 0.1 * rng.normal(0.0, 1.0);
+
+  const num::CsrMatrix a0 = assemble_at(x0);
+  const num::CsrMatrix a1 = assemble_at(x1);
+
+  num::SparseLu lu;
+  lu.factorize(a0);
+  ASSERT_TRUE(lu.refactorize(a1)) << "write-path Jacobian pattern changed";
+
+  std::vector<double> b(n), x_refact(n), x_full(n);
+  for (auto& v : b) v = rng.normal(0.0, 1.0);
+  lu.solve(b, x_refact);
+
+  num::SparseLu fresh;
+  fresh.factorize(a1);
+  fresh.solve(b, x_full);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scale = std::max(1.0, std::fabs(x_full[i]));
+    EXPECT_NEAR(x_refact[i], x_full[i], 1e-6 * scale) << "component " << i;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // fast array
 // ---------------------------------------------------------------------------

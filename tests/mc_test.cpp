@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <stdexcept>
+#include <vector>
 
 #include "mc/runner.hpp"
 #include "util/stats.hpp"
@@ -89,6 +92,130 @@ TEST(McRunner, TrialIndexIsPassedThrough) {
   options.trials = 20;
   const auto samples = run_trials<std::size_t>(options, trial);
   for (std::size_t i = 0; i < samples.size(); ++i) EXPECT_EQ(samples[i], i);
+}
+
+// Golden vectors for the trial_rng mixing function. These pin the exact
+// stream derivation: any change to the mixer (or to Rng seeding) silently
+// invalidates every recorded EXPERIMENTS.md distribution, so it must fail
+// loudly here instead.
+TEST(McRunner, TrialRngGoldenVectors) {
+  struct Golden {
+    std::uint64_t seed;
+    std::size_t trial;
+    std::uint64_t expected[4];
+  };
+  const Golden goldens[] = {
+      {0xA21Cull, 0, {0xd4a0074683bbdf87ull, 0x49021f7db65b3ca8ull,
+                      0xb317ed786f4aa813ull, 0xca21b3f32706dc8dull}},
+      {0xA21Cull, 1, {0x41d19dfb6841b278ull, 0x2bf3670cfc1ea430ull,
+                      0x9c7d9b49ffe66a0cull, 0xd655fe6232792f84ull}},
+      {0xA21Cull, 7, {0x6ad1389547761d7aull, 0xd25799dc75e7d32eull,
+                      0x758e0716fd2c81faull, 0x88df297a87c9173cull}},
+      {42ull, 0, {0x1161f6b1991a31e4ull, 0x34f28b9e864ca0f0ull,
+                  0xcede81ef046f9ddaull, 0x652111b2704dd461ull}},
+      {42ull, 1, {0x2833430d60dc5f24ull, 0x9541aa86c3da7311ull,
+                  0x59971219efeb81a0ull, 0xcf252bb3e181d338ull}},
+      {42ull, 7, {0xe6a2ba90c145c693ull, 0x091bd2f1b8ece0c3ull,
+                  0xc0d6f1530f308eb5ull, 0x9b4295baa558ecc7ull}},
+  };
+  for (const Golden& g : goldens) {
+    Rng rng = trial_rng(g.seed, g.trial);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(rng.next_u64(), g.expected[i])
+          << "seed=" << g.seed << " trial=" << g.trial << " draw=" << i;
+    }
+  }
+}
+
+// Chunked claiming must not change results for ANY thread count, including
+// counts that do not divide the trial total and counts above it.
+TEST(McRunner, ChunkedSchedulingBitIdenticalAcrossThreadCounts) {
+  const std::function<double(std::size_t, Rng&)> trial = [](std::size_t index, Rng& rng) {
+    double acc = static_cast<double>(index);
+    const int draws = 1 + static_cast<int>(rng.next_u64() % 13);
+    for (int i = 0; i < draws; ++i) acc += rng.normal(0.0, 1.0) * rng.uniform();
+    return acc;
+  };
+  McOptions serial;
+  serial.trials = 101;  // prime: never divides evenly into chunks
+  serial.threads = 1;
+  const auto reference = run_trials<double>(serial, trial);
+  for (std::size_t threads : {2, 3, 5, 16, 33}) {
+    McOptions parallel = serial;
+    parallel.threads = threads;
+    const auto samples = run_trials<double>(parallel, trial);
+    ASSERT_EQ(samples.size(), reference.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      EXPECT_EQ(samples[i], reference[i]) << "threads=" << threads << " trial=" << i;
+    }
+  }
+}
+
+TEST(McRunner, ClaimChunkTargetsEightChunksPerWorker) {
+  EXPECT_EQ(detail::claim_chunk(500, 8), 7u);
+  EXPECT_EQ(detail::claim_chunk(16, 4), 1u);
+  // Never zero, even when trials < threads * 8.
+  EXPECT_EQ(detail::claim_chunk(3, 16), 1u);
+}
+
+// A throwing trial must reach the caller as an exception (the old pool let it
+// escape a worker thread straight into std::terminate) and be counted.
+TEST(McRunner, WorkerExceptionPropagatesToCaller) {
+  const std::function<double(std::size_t, Rng&)> trial = [](std::size_t index, Rng&) {
+    if (index == 13) throw std::runtime_error("trial 13 diverged");
+    return 0.0;
+  };
+  const std::uint64_t failures_before =
+      obs::registry().counter("mc.trial_failures").value();
+  McOptions options;
+  options.trials = 64;
+  options.threads = 4;
+  EXPECT_THROW(run_trials<double>(options, trial), std::runtime_error);
+  EXPECT_GE(obs::registry().counter("mc.trial_failures").value(), failures_before + 1);
+}
+
+TEST(McRunner, SerialExceptionPropagatesAndCounts) {
+  const std::function<double(std::size_t, Rng&)> trial = [](std::size_t index, Rng&) {
+    if (index == 5) throw std::runtime_error("trial 5 diverged");
+    return 0.0;
+  };
+  const std::uint64_t failures_before =
+      obs::registry().counter("mc.trial_failures").value();
+  McOptions options;
+  options.trials = 8;
+  options.threads = 1;
+  EXPECT_THROW(run_trials<double>(options, trial), std::runtime_error);
+  EXPECT_EQ(obs::registry().counter("mc.trial_failures").value(), failures_before + 1);
+}
+
+// The context overload: one context per worker, reused across chunks, with
+// results identical to the context-free path (a context is a cache, not a
+// sample input).
+TEST(McRunner, ContextOverloadMatchesContextFreeResults) {
+  struct Scratch {
+    std::vector<double> buffer;  // stands in for a per-thread circuit
+  };
+  const std::function<Scratch()> make_context = [] { return Scratch{}; };
+  const std::function<double(std::size_t, Rng&, Scratch&)> trial_ctx =
+      [](std::size_t index, Rng& rng, Scratch& scratch) {
+        scratch.buffer.assign(4, rng.uniform());
+        return scratch.buffer[index % 4] + static_cast<double>(index);
+      };
+  const std::function<double(std::size_t, Rng&)> trial_plain =
+      [](std::size_t index, Rng& rng) {
+        std::vector<double> buffer(4, rng.uniform());
+        return buffer[index % 4] + static_cast<double>(index);
+      };
+  McOptions options;
+  options.trials = 50;
+  options.threads = 3;
+  const auto with_context = run_trials<double, Scratch>(options, make_context, trial_ctx);
+  options.threads = 1;
+  const auto without = run_trials<double>(options, trial_plain);
+  ASSERT_EQ(with_context.size(), without.size());
+  for (std::size_t i = 0; i < without.size(); ++i) {
+    EXPECT_EQ(with_context[i], without[i]) << "trial " << i;
+  }
 }
 
 TEST(McRunner, SampledMeanConvergesToTruth) {

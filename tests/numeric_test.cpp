@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
 
 #include "numeric/dense_matrix.hpp"
 #include "numeric/newton.hpp"
@@ -8,6 +10,7 @@
 #include "numeric/sparse_lu.hpp"
 #include "numeric/sparse_matrix.hpp"
 #include "numeric/vec.hpp"
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -210,6 +213,175 @@ TEST(LinearSolver, SwitchesBetweenBackends) {
   }
 }
 
+TEST(CsrWorkspace, HitReusesPatternAndMatchesRebuild) {
+  TripletMatrix t(4);
+  const auto stamp = [&](double scale) {
+    t.clear();
+    t.add(0, 0, 4.0 * scale);
+    t.add(0, 2, 1.0 * scale);
+    t.add(1, 1, 3.0 * scale);
+    t.add(2, 0, -1.0 * scale);
+    t.add(2, 2, 5.0 * scale);
+    t.add(3, 3, 2.0 * scale);
+    t.add(0, 0, 0.5 * scale);  // duplicate: coalesced by compression
+  };
+  CsrWorkspace workspace;
+  stamp(1.0);
+  workspace.compress(t);
+  EXPECT_FALSE(workspace.last_was_hit());
+
+  stamp(-2.5);
+  const CsrMatrix& cached = workspace.compress(t);
+  EXPECT_TRUE(workspace.last_was_hit());
+  const CsrMatrix rebuilt = CsrMatrix::from_triplets(t);
+  ASSERT_EQ(cached.nnz(), rebuilt.nnz());
+  for (std::size_t k = 0; k < cached.nnz(); ++k) {
+    EXPECT_EQ(cached.col_indices()[k], rebuilt.col_indices()[k]);
+    EXPECT_DOUBLE_EQ(cached.values()[k], rebuilt.values()[k]);
+  }
+}
+
+TEST(CsrWorkspace, PatternChangeFallsBackToRebuild) {
+  TripletMatrix t(3);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 2.0);
+  t.add(2, 2, 3.0);
+  CsrWorkspace workspace;
+  workspace.compress(t);
+
+  t.clear();
+  t.add(0, 0, 1.0);
+  t.add(1, 0, 4.0);  // new position: stamp sequence deviates
+  t.add(1, 1, 2.0);
+  t.add(2, 2, 3.0);
+  const CsrMatrix& csr = workspace.compress(t);
+  EXPECT_FALSE(workspace.last_was_hit());
+  EXPECT_EQ(csr.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(csr.to_dense().at(1, 0), 4.0);
+}
+
+// Refactorize must reproduce the full factorization's solutions on every
+// same-pattern matrix (the transient hot path: one pattern, thousands of
+// value sets).
+TEST(SparseLu, RefactorizeMatchesFactorizeOnRandomSamePatternSystems) {
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 20 + rng.uniform_index(100);
+    // Fixed pattern: tridiagonal plus a few random off-diagonals.
+    std::vector<std::pair<std::size_t, std::size_t>> pattern;
+    for (std::size_t i = 0; i < n; ++i) {
+      pattern.emplace_back(i, i);
+      if (i > 0) pattern.emplace_back(i, i - 1);
+      if (i + 1 < n) pattern.emplace_back(i, i + 1);
+    }
+    for (int k = 0; k < 10; ++k) {
+      pattern.emplace_back(rng.uniform_index(n), rng.uniform_index(n));
+    }
+    const auto build = [&](Rng& values_rng) {
+      TripletMatrix t(n);
+      for (const auto& [r, c] : pattern) {
+        t.add(r, c, r == c ? 6.0 + values_rng.uniform() : values_rng.normal(0, 0.5));
+      }
+      return CsrMatrix::from_triplets(t);
+    };
+
+    SparseLu lu;
+    lu.factorize(build(rng));
+    for (int rep = 0; rep < 3; ++rep) {
+      const CsrMatrix a = build(rng);
+      ASSERT_TRUE(lu.refactorize(a)) << "n=" << n << " rep=" << rep;
+
+      std::vector<double> x_true(n), b(n), x(n);
+      for (auto& v : x_true) v = rng.normal(0, 1);
+      a.multiply(x_true, b);
+      lu.solve(b, x);
+
+      SparseLu fresh;
+      fresh.factorize(a);
+      std::vector<double> x_fresh(n);
+      fresh.solve(b, x_fresh);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(x[i], x_true[i], 1e-7);
+        EXPECT_NEAR(x[i], x_fresh[i], 1e-8);
+      }
+    }
+  }
+}
+
+TEST(SparseLu, RefactorizeRejectsPatternChange) {
+  TripletMatrix t(3);
+  t.add(0, 0, 2.0);
+  t.add(1, 1, 2.0);
+  t.add(2, 2, 2.0);
+  SparseLu lu;
+  lu.factorize(CsrMatrix::from_triplets(t));
+
+  t.add(0, 2, 1.0);  // extra entry: different pattern
+  EXPECT_FALSE(lu.refactorize(CsrMatrix::from_triplets(t)));
+}
+
+TEST(SparseLu, RefactorizeRejectsDegradedPivotThenFullFactorizeRecovers) {
+  // Factorize with a diagonally dominant value set: the frozen pivot order is
+  // the identity.
+  TripletMatrix t(2);
+  t.add(0, 0, 4.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  t.add(1, 1, 4.0);
+  SparseLu lu;
+  lu.factorize(CsrMatrix::from_triplets(t));
+
+  // Same pattern, but the (0,0) pivot collapses: under the frozen order the
+  // first pivot is 1e-30 while its row holds a 1.0 — refactorize must refuse
+  // rather than divide by it.
+  TripletMatrix degenerate(2);
+  degenerate.add(0, 0, 1e-30);
+  degenerate.add(0, 1, 1.0);
+  degenerate.add(1, 0, 1.0);
+  degenerate.add(1, 1, 1e-30);
+  const CsrMatrix a = CsrMatrix::from_triplets(degenerate);
+  EXPECT_FALSE(lu.refactorize(a));
+
+  // The fallback the callers take: a full factorization re-pivots and solves
+  // the (perfectly well-conditioned) permuted system.
+  lu.factorize(a);
+  const std::vector<double> b = {1.0, 2.0};
+  std::vector<double> x(2);
+  lu.solve(b, x);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);  // a is (numerically) the exchange matrix
+  EXPECT_NEAR(x[1], 1.0, 1e-9);
+}
+
+TEST(LinearSolver, FactorizeCachedMatchesFactorizeOnBothBackends) {
+  Rng rng(91);
+  for (std::size_t n : {std::size_t{8}, std::size_t{200}}) {  // dense | sparse
+    LinearSolver cached;
+    for (int rep = 0; rep < 3; ++rep) {
+      TripletMatrix t(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        t.add(i, i, 4.0 + rng.uniform());
+        if (i > 0) t.add(i, i - 1, rng.normal(0, 0.3));
+        if (i + 1 < n) t.add(i, i + 1, rng.normal(0, 0.3));
+      }
+      cached.factorize_cached(t);
+      LinearSolver fresh;
+      fresh.factorize(t);
+
+      std::vector<double> b(n), x_cached(n), x_fresh(n);
+      for (auto& v : b) v = rng.normal(0, 1);
+      cached.solve(b, x_cached);
+      fresh.solve(b, x_fresh);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_cached[i], x_fresh[i], 1e-9);
+
+      if (n > LinearSolver::kDenseCutoff && rep > 0) {
+        EXPECT_TRUE(cached.last_refactorized()) << "n=" << n << " rep=" << rep;
+      } else {
+        EXPECT_FALSE(cached.last_refactorized()) << "n=" << n << " rep=" << rep;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Newton
 // ---------------------------------------------------------------------------
@@ -278,6 +450,75 @@ TEST(Newton, ReportsNonConvergence) {
   NewtonOptions options;
   options.max_iterations = 30;
   EXPECT_FALSE(solve_newton(system, x, options).converged);
+}
+
+// Weakly nonlinear resistive ladder above the dense cutoff, so Newton's
+// linear solves go through the sparse backend: F_i = (3 + x_i^2) x_i -
+// x_{i-1} - x_{i+1} - b_i.
+class NonlinearLadder final : public NonlinearSystem {
+ public:
+  explicit NonlinearLadder(std::size_t n) : n_(n), b_(n, 1.0) {}
+  std::size_t dimension() const override { return n_; }
+  void assemble(std::span<const double> x, TripletMatrix& jacobian,
+                std::span<double> residual) override {
+    for (std::size_t i = 0; i < n_; ++i) {
+      residual[i] = (3.0 + x[i] * x[i]) * x[i] - b_[i];
+      jacobian.add(i, i, 3.0 + 3.0 * x[i] * x[i]);
+      if (i > 0) {
+        residual[i] -= x[i - 1];
+        jacobian.add(i, i - 1, -1.0);
+      }
+      if (i + 1 < n_) {
+        residual[i] -= x[i + 1];
+        jacobian.add(i, i + 1, -1.0);
+      }
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> b_;
+};
+
+// A reused workspace must change nothing about the results — only the
+// allocations and (on the sparse path) the factorization work.
+TEST(Newton, WorkspaceReuseMatchesFreshSolves) {
+  const std::size_t n = 150;  // > LinearSolver::kDenseCutoff
+  NewtonWorkspace workspace;
+  for (int rep = 0; rep < 3; ++rep) {
+    NonlinearLadder system(n);
+    std::vector<double> x_ws(n, 0.0), x_fresh(n, 0.0);
+    const NewtonResult with_ws = solve_newton(system, x_ws, {}, workspace);
+    const NewtonResult fresh = solve_newton(system, x_fresh, {});
+    ASSERT_TRUE(with_ws.converged);
+    ASSERT_TRUE(fresh.converged);
+    EXPECT_EQ(with_ws.iterations, fresh.iterations);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(x_ws[i], x_fresh[i]);
+  }
+}
+
+// Iterations after the first factorization of a warm workspace must take the
+// numeric-only refactorize path (this is the speedup the two-phase LU buys).
+TEST(Newton, WarmWorkspaceRefactorizes) {
+  const std::size_t n = 150;
+  NonlinearLadder system(n);
+  NewtonWorkspace workspace;
+  std::vector<double> x(n, 0.0);
+
+  const std::uint64_t refactorizations_before =
+      obs::registry().counter("newton.refactorizations").value();
+  const std::uint64_t hits_before =
+      obs::registry().counter("sparse_lu.pattern_hits").value();
+  ASSERT_TRUE(solve_newton(system, x, {}, workspace).converged);
+  // Second solve on the warm workspace: every factorization reuses the frozen
+  // pattern.
+  std::vector<double> x2(n, 0.0);
+  const NewtonResult second = solve_newton(system, x2, {}, workspace);
+  ASSERT_TRUE(second.converged);
+
+  EXPECT_GT(obs::registry().counter("newton.refactorizations").value(),
+            refactorizations_before);
+  EXPECT_GT(obs::registry().counter("sparse_lu.pattern_hits").value(), hits_before);
 }
 
 // ---------------------------------------------------------------------------

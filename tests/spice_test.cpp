@@ -414,6 +414,100 @@ TEST(Transient, BreakpointsAreHit) {
   EXPECT_GT(v_max, 0.99);
 }
 
+// Regression: a termination-style comparator armed exactly at its reference
+// must still fire. This is the IrefR RESET-termination arming scenario — the
+// monitored current starts exactly on the threshold at t = 0 and falls; the
+// old predicate required `before > threshold`, so the event never fired.
+TEST(Transient, EventArmedExactlyAtThresholdFires) {
+  Circuit c;
+  const int in = c.node("in");
+  c.add<VoltageSource>("V1", in, kGround, std::make_shared<DcWaveform>(1.0));
+  c.add<Resistor>("R1", in, kGround, 1e3);
+  MnaSystem system(c);
+
+  TransientOptions options;
+  options.t_stop = 1e-7;
+  options.dt_max = 1e-9;
+
+  // Deterministic monitored quantity (pure function of t, exact at t = 0):
+  // starts at the threshold, then decays — the comparator should trip on the
+  // first step off the boundary.
+  const double iref = 0.5;
+  std::vector<TransientEvent> events(1);
+  events[0].name = "terminate";
+  events[0].value = [](double t, std::span<const double>) { return 0.5 - t * 1e6; };
+  events[0].threshold = iref;
+  events[0].direction = EventDirection::kFalling;
+  events[0].resolution = 1e-8;
+
+  std::vector<Probe> probes = {{"v", [in](double, std::span<const double> x) {
+                                  return x[static_cast<std::size_t>(in)];
+                                }}};
+  const TransientResult result = run_transient(system, options, probes, std::move(events));
+  ASSERT_EQ(result.fired_events.size(), 1u);
+  EXPECT_LT(result.fired_events[0].time, 5e-9);  // first accepted steps
+}
+
+// A signal resting exactly on the threshold across several steps must not
+// fire until it moves off the boundary in the watched direction.
+TEST(Transient, EventRestingOnThresholdDoesNotFire) {
+  Circuit c;
+  const int in = c.node("in");
+  c.add<VoltageSource>("V1", in, kGround, std::make_shared<DcWaveform>(1.0));
+  c.add<Resistor>("R1", in, kGround, 1e3);
+  MnaSystem system(c);
+
+  TransientOptions options;
+  options.t_stop = 1e-7;
+  options.dt_max = 1e-9;
+
+  std::vector<TransientEvent> events(1);
+  events[0].name = "flat";
+  events[0].value = [](double, std::span<const double>) { return 0.5; };
+  events[0].threshold = 0.5;
+  events[0].direction = EventDirection::kAny;
+  events[0].resolution = 1e-8;
+
+  std::vector<Probe> probes;
+  const TransientResult result = run_transient(system, options, probes, std::move(events));
+  EXPECT_TRUE(result.fired_events.empty());
+}
+
+// Regression: a breakpoint landing closer than dt_min to the previous one
+// must not clamp the step below dt_min (the old snap drove Newton with a
+// degenerate 2e-15 s step). The sub-dt_min gap is merged into the next step.
+TEST(Transient, SubDtMinBreakpointGapIsMerged) {
+  Circuit c;
+  const int in = c.node("in");
+  // PWL knots 2e-15 apart: two breakpoints closer than dt_min = 1e-14 (and
+  // farther apart than the 1e-15 dedup window in collect_breakpoints).
+  std::vector<std::pair<double, double>> points = {
+      {0.0, 0.0}, {1e-9, 0.0}, {1e-9 + 2e-15, 1.0}, {1e-7, 1.0}};
+  c.add<VoltageSource>("V1", in, kGround, std::make_shared<PwlWaveform>(points));
+  c.add<Resistor>("R1", in, kGround, 1e3);
+  MnaSystem system(c);
+
+  TransientOptions options;
+  options.t_stop = 5e-9;
+  options.dt_min = 1e-14;
+  options.dt_max = 1e-9;
+
+  std::vector<Probe> probes = {{"v", [in](double, std::span<const double> x) {
+                                  return x[static_cast<std::size_t>(in)];
+                                }}};
+  const TransientResult result = run_transient(system, options, probes);
+  ASSERT_TRUE(result.completed);
+  ASSERT_GE(result.times.size(), 2u);
+  for (std::size_t k = 1; k + 1 < result.times.size(); ++k) {
+    const double delta = result.times[k] - result.times[k - 1];
+    EXPECT_GE(delta, options.dt_min * 0.999)
+        << "step " << k << " at t=" << result.times[k];
+  }
+  // The source still reaches its post-knot value: the breakpoint was merged,
+  // not skipped.
+  EXPECT_NEAR(result.probe_values[0].back(), 1.0, 1e-6);
+}
+
 TEST(Transient, IntegrateTrapezoid) {
   const std::vector<double> t = {0.0, 1.0, 2.0};
   const std::vector<double> v = {0.0, 1.0, 2.0};
