@@ -1,5 +1,8 @@
 #include "array/fast_array.hpp"
 
+#include <string>
+
+#include "oxram/batch_kernel.hpp"
 #include "util/error.hpp"
 
 namespace oxmlc::array {
@@ -21,7 +24,10 @@ FastArray::FastArray(std::size_t rows, std::size_t cols, const oxram::OxramParam
 }
 
 std::size_t FastArray::index(std::size_t row, std::size_t col) const {
-  OXMLC_CHECK(row < rows_ && col < cols_, "FastArray: cell index out of range");
+  OXMLC_CHECK(row < rows_ && col < cols_,
+              "FastArray: cell index (" + std::to_string(row) + ", " +
+                  std::to_string(col) + ") out of range for " + std::to_string(rows_) +
+                  "x" + std::to_string(cols_) + " array");
   return row * cols_ + col;
 }
 
@@ -36,12 +42,59 @@ const oxram::FastCell& FastArray::at(std::size_t row, std::size_t col) const {
 Rng& FastArray::rng_at(std::size_t row, std::size_t col) { return rngs_[index(row, col)]; }
 
 void FastArray::form_all(const oxram::FormingOperation& op) {
+  if (op.record_trajectory) {
+    // Trajectory recording is a scalar-path feature (batch lanes keep no
+    // per-step history); fall back to the per-cell loop.
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        refresh_cycle_rate(r, c);
+        at(r, c).apply_forming(op);
+      }
+    }
+    return;
+  }
+  oxram::CellBatch batch;
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) {
       refresh_cycle_rate(r, c);
-      at(r, c).apply_forming(op);
+      batch.add_forming(at(r, c), op);
     }
   }
+  batch.run();
+}
+
+std::vector<oxram::OperationResult> FastArray::program_word(
+    std::size_t row, std::span<const oxram::ResetOperation> ops) {
+  OXMLC_CHECK(ops.size() == cols_, "FastArray: program_word needs one RESET per column");
+  oxram::CellBatch batch;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    refresh_cycle_rate(row, c);
+    batch.add_reset(at(row, c), ops[c]);
+  }
+  return batch.run();
+}
+
+std::vector<oxram::OperationResult> FastArray::set_word(std::size_t row,
+                                                        const oxram::SetOperation& op) {
+  oxram::CellBatch batch;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    refresh_cycle_rate(row, c);
+    batch.add_set(at(row, c), op);
+  }
+  return batch.run();
+}
+
+std::vector<oxram::OperationResult> FastArray::program_image(
+    std::span<const oxram::ResetOperation> ops) {
+  OXMLC_CHECK(ops.size() == size(), "FastArray: program_image needs one RESET per cell");
+  oxram::CellBatch batch;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      refresh_cycle_rate(r, c);
+      batch.add_reset(at(r, c), ops[r * cols_ + c]);
+    }
+  }
+  return batch.run();
 }
 
 double FastArray::refresh_cycle_rate(std::size_t row, std::size_t col) {

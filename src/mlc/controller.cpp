@@ -23,10 +23,21 @@ WordWriteStats MemoryController::write_word_levels(std::size_t row,
                                                    std::span<const std::size_t> levels) {
   OXMLC_CHECK(levels.size() == array_.cols(),
               "write_word_levels: need one level per bit line");
-  WordWriteStats stats;
+  // The whole word goes through the batched programmer: one SET batch, one
+  // parallel RST batch with per-bit-line termination masking — the same flow
+  // the paper's control logic drives, and the fast path for array-scale
+  // writes. Outcomes match per-cell program() calls to solver tolerance.
+  std::vector<oxram::FastCell*> cells(array_.cols());
+  std::vector<Rng*> rngs(array_.cols());
   for (std::size_t col = 0; col < array_.cols(); ++col) {
-    const ProgramOutcome outcome =
-        programmer_.program(array_.at(row, col), levels[col], array_.rng_at(row, col));
+    cells[col] = &array_.at(row, col);
+    rngs[col] = &array_.rng_at(row, col);
+  }
+  const std::vector<ProgramOutcome> outcomes =
+      programmer_.program_word(cells, levels, rngs);
+
+  WordWriteStats stats;
+  for (const ProgramOutcome& outcome : outcomes) {
     stats.energy += outcome.energy + outcome.set_energy;
     // Parallel RST through the shared SL: the word is done when the slowest
     // bit line's termination fires.

@@ -1,6 +1,16 @@
 #include "mlc/mc_study.hpp"
 
 namespace oxmlc::mlc {
+namespace {
+
+// Independent seed per level so adding levels never reshuffles existing ones.
+// Shared by the scalar per-level runner and the batched whole-trial runner so
+// both consume bit-identical random streams.
+std::uint64_t level_seed(std::uint64_t base, std::size_t level) {
+  return base ^ (0x51ED270B2D4C4Dull * (level + 1));
+}
+
+}  // namespace
 
 McStudyConfig paper_mc_study(std::size_t bits, std::size_t trials) {
   McStudyConfig config;
@@ -26,8 +36,7 @@ LevelDistribution run_single_level(const McStudyConfig& config,
   };
 
   mc::McOptions options = config.mc;
-  // Independent seed per level so adding levels never reshuffles existing ones.
-  options.seed = config.mc.seed ^ (0x51ED270B2D4C4Dull * (level + 1));
+  options.seed = level_seed(config.mc.seed, level);
 
   const std::function<Sample(std::size_t, Rng&)> trial = [&](std::size_t, Rng& rng) {
     const oxram::OxramParams device =
@@ -63,10 +72,74 @@ std::vector<LevelDistribution> run_level_study(const McStudyConfig& config) {
   // construction would redo 16×. Trials only read it, so sharing is safe —
   // and results are unchanged because trials depend on (seed, index) alone.
   const QlcProgrammer programmer(config.qlc);
-  std::vector<LevelDistribution> distributions;
-  distributions.reserve(config.qlc.allocation.count());
-  for (std::size_t level = 0; level < config.qlc.allocation.count(); ++level) {
-    distributions.push_back(run_single_level(config, programmer, level));
+  const std::size_t n_levels = config.qlc.allocation.count();
+
+  if (!config.batch_levels) {
+    std::vector<LevelDistribution> distributions;
+    distributions.reserve(n_levels);
+    for (std::size_t level = 0; level < n_levels; ++level) {
+      distributions.push_back(run_single_level(config, programmer, level));
+    }
+    return distributions;
+  }
+
+  // Batched study: one MC trial programs every level of the allocation as a
+  // single CellBatch word — 16 lanes in lockstep with per-lane termination —
+  // instead of 16 separate scalar cell loops. Each level keeps its own
+  // (level_seed, trial)-derived rng with the scalar draw order (device D2D,
+  // then SET rate / IrefR mismatch / RST rate inside program_word), so the
+  // sampled conditions are bit-identical to the per-level runner.
+  struct LevelSample {
+    double resistance = 0.0;
+    double energy = 0.0;
+    double latency = 0.0;
+  };
+  using TrialSamples = std::vector<LevelSample>;
+
+  const std::function<TrialSamples(std::size_t, Rng&)> trial =
+      [&](std::size_t t, Rng&) {
+        std::vector<Rng> rngs;
+        std::vector<oxram::FastCell> cells;
+        std::vector<std::size_t> levels(n_levels);
+        rngs.reserve(n_levels);
+        cells.reserve(n_levels);
+        for (std::size_t level = 0; level < n_levels; ++level) {
+          levels[level] = level;
+          rngs.push_back(mc::trial_rng(level_seed(config.mc.seed, level), t));
+          const oxram::OxramParams device =
+              sample_device(config.nominal, config.variability, rngs.back());
+          cells.push_back(oxram::FastCell::formed_lrs(device, config.stack));
+        }
+        std::vector<oxram::FastCell*> cell_ptrs(n_levels);
+        std::vector<Rng*> rng_ptrs(n_levels);
+        for (std::size_t k = 0; k < n_levels; ++k) {
+          cell_ptrs[k] = &cells[k];
+          rng_ptrs[k] = &rngs[k];
+        }
+        const std::vector<ProgramOutcome> outcomes =
+            programmer.program_word(cell_ptrs, levels, rng_ptrs);
+        TrialSamples samples(n_levels);
+        for (std::size_t k = 0; k < n_levels; ++k) {
+          samples[k] = LevelSample{outcomes[k].resistance, outcomes[k].energy,
+                                   outcomes[k].latency};
+        }
+        return samples;
+      };
+
+  const std::vector<TrialSamples> trials = mc::run_trials<TrialSamples>(config.mc, trial);
+
+  std::vector<LevelDistribution> distributions(n_levels);
+  for (std::size_t level = 0; level < n_levels; ++level) {
+    LevelDistribution& dist = distributions[level];
+    dist.level = config.qlc.allocation.levels[level];
+    dist.resistance.reserve(trials.size());
+    dist.energy.reserve(trials.size());
+    dist.latency.reserve(trials.size());
+    for (const TrialSamples& samples : trials) {
+      dist.resistance.push_back(samples[level].resistance);
+      dist.energy.push_back(samples[level].energy);
+      dist.latency.push_back(samples[level].latency);
+    }
   }
   return distributions;
 }

@@ -17,6 +17,12 @@ struct McStudyConfig {
   oxram::StackConfig stack;
   oxram::OxramVariability variability;  // D2D sampling (C2C comes from qlc)
   mc::McOptions mc;                   // trials per level, seed
+  // Program each trial's full level set as one batch (QlcProgrammer::
+  // program_word over the SoA kernel) instead of 16 scalar cell loops.
+  // Sampling is bit-identical either way — each level keeps its own
+  // (seed, level, trial)-derived rng and draw order — so distributions agree
+  // with the scalar path to solver tolerance (~1e-9 relative).
+  bool batch_levels = true;
 };
 
 // Default configuration reproducing the paper's 4-bit study: builds the

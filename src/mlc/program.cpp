@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/registry.hpp"
+#include "oxram/batch_kernel.hpp"
 #include "util/error.hpp"
 
 namespace oxmlc::mlc {
@@ -140,6 +141,69 @@ ProgramOutcome QlcProgrammer::program(oxram::FastCell& cell, std::size_t level,
   (outcome.terminated ? level_metrics.terminated : level_metrics.timeouts).add();
   metrics.latency_us.observe(outcome.latency * 1e6);
   return outcome;
+}
+
+std::vector<ProgramOutcome> QlcProgrammer::program_word(
+    std::span<oxram::FastCell* const> cells, std::span<const std::size_t> levels,
+    std::span<Rng* const> rngs) const {
+  OXMLC_CHECK(cells.size() == levels.size() && cells.size() == rngs.size(),
+              "QlcProgrammer: program_word spans must have equal length");
+  const std::size_t n = cells.size();
+  std::vector<ProgramOutcome> outcomes(n);
+  if (n == 0) return outcomes;
+
+  ProgramMetrics& metrics = ProgramMetrics::get();
+  metrics.operations.add(n);
+  obs::ScopedTimer op_timer(metrics.program_time);
+
+  // Draw every cell's stochastic conditions up front, in the scalar
+  // program() order per rng: SET rate factor, effective IrefR, RST rate
+  // factor. This keeps each cell's random stream bit-identical whichever
+  // path programs it.
+  std::vector<double> rate_set(n), rate_rst(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    OXMLC_CHECK(levels[k] < config_.allocation.count(),
+                "QlcProgrammer: level out of range");
+    outcomes[k].level = levels[k];
+    rate_set[k] = sample_cycle_rate_factor(config_.variability, *rngs[k]);
+    outcomes[k].effective_iref = config_.termination.sample_effective_iref(
+        config_.allocation.levels[levels[k]].iref, *rngs[k]);
+    rate_rst[k] = sample_cycle_rate_factor(config_.variability, *rngs[k]);
+  }
+
+  // Word programming step 1 (§4.2): the whole word is SET in one batch.
+  oxram::CellBatch batch;
+  for (std::size_t k = 0; k < n; ++k) {
+    cells[k]->set_rate_factor(rate_set[k]);
+    batch.add_set(*cells[k], config_.set_op);
+  }
+  const std::vector<oxram::OperationResult> set_results = batch.run();
+
+  // Step 2: one parallel RST; each lane's termination masks it out when its
+  // cell current reaches that bit line's reference.
+  batch.clear();
+  for (std::size_t k = 0; k < n; ++k) {
+    oxram::ResetOperation reset = config_.reset_op;
+    reset.iref = outcomes[k].effective_iref;
+    reset.termination_delay = config_.termination.comparator_delay;
+    cells[k]->set_rate_factor(rate_rst[k]);
+    batch.add_reset(*cells[k], reset);
+  }
+  const std::vector<oxram::OperationResult> reset_results = batch.run();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    outcomes[k].set_energy = set_results[k].energy_source;
+    outcomes[k].terminated = reset_results[k].terminated;
+    outcomes[k].latency = reset_results[k].t_terminate;
+    outcomes[k].energy = reset_results[k].energy_source;
+    outcomes[k].resistance = cells[k]->read(config_.v_read, config_.v_wl_read).r_cell;
+
+    const ProgramLevelMetrics level_metrics = ProgramLevelMetrics::get(levels[k]);
+    level_metrics.pulses.add(outcomes[k].pulses);
+    (outcomes[k].terminated ? level_metrics.terminated : level_metrics.timeouts).add();
+    metrics.latency_us.observe(outcomes[k].latency * 1e6);
+  }
+  return outcomes;
 }
 
 std::size_t QlcProgrammer::read_level(const oxram::FastCell& cell, Rng& rng) const {

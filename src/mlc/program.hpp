@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "array/sense_amp.hpp"
@@ -66,6 +67,18 @@ class QlcProgrammer {
   // SET + terminated RST to the target level. `rng` drives the mismatch and
   // C2C sampling of this operation.
   ProgramOutcome program(oxram::FastCell& cell, std::size_t level, Rng& rng) const;
+
+  // Batched word programming: the paper's word flow (§4.2) over N cells at
+  // once — one whole-word SET batch, then one parallel RST batch in which
+  // each lane terminates on its own per-level reference (oxram::CellBatch
+  // underneath). Per-cell random draws are consumed from `rngs` in exactly
+  // the scalar program() order (SET rate, effective IrefR, RST rate), so a
+  // word programmed here sees bit-identical sampled conditions to N scalar
+  // calls; outcomes agree with the scalar path to solver tolerance (~1e-9).
+  // Spans must have equal length; outcomes are indexed like the inputs.
+  std::vector<ProgramOutcome> program_word(std::span<oxram::FastCell* const> cells,
+                                           std::span<const std::size_t> levels,
+                                           std::span<Rng* const> rngs) const;
 
   // Read references (ascending currents, one between each pair of adjacent
   // levels) derived from the nominal level currents at VREAD. Computed from

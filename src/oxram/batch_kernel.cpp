@@ -1,0 +1,220 @@
+#include "oxram/batch_kernel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "obs/registry.hpp"
+#include "util/error.hpp"
+
+namespace oxmlc::oxram {
+namespace {
+
+struct BatchMetrics {
+  obs::Counter& runs = obs::registry().counter("batch.runs");
+  obs::Counter& lanes = obs::registry().counter("batch.lanes");
+  obs::Counter& lanes_retired = obs::registry().counter("batch.lanes_retired");
+  obs::Counter& steps = obs::registry().counter("batch.steps");
+  obs::Gauge& lanes_active = obs::registry().gauge("batch.lanes_active");
+  obs::Gauge& throughput = obs::registry().gauge("batch.cells_per_second");
+  obs::Timer& run_time = obs::registry().timer("batch.run_time");
+
+  static BatchMetrics& get() {
+    static BatchMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::size_t CellBatch::add_reset(FastCell& cell, const ResetOperation& op) {
+  return add_lane(cell, op.pulse, Polarity::kReset, op.v_wl,
+                  /*through_mirror=*/op.iref.has_value(), op.iref.value_or(-1.0),
+                  op.termination_delay, op.record_trajectory, op.dt_max);
+}
+
+std::size_t CellBatch::add_set(FastCell& cell, const SetOperation& op) {
+  return add_lane(cell, op.pulse, Polarity::kSet, op.v_wl, /*through_mirror=*/false,
+                  -1.0, 0.0, op.record_trajectory, op.dt_max);
+}
+
+std::size_t CellBatch::add_forming(FastCell& cell, const FormingOperation& op) {
+  return add_lane(cell, op.pulse, Polarity::kSet, op.v_wl, /*through_mirror=*/false,
+                  -1.0, 0.0, op.record_trajectory, op.dt_max);
+}
+
+std::size_t CellBatch::add_lane(FastCell& cell, const PulseShape& pulse,
+                                Polarity polarity, double v_wl, bool through_mirror,
+                                double iref, double termination_delay,
+                                bool record_trajectory, double dt_max) {
+  OXMLC_CHECK(!record_trajectory,
+              "CellBatch: trajectory recording is not supported in batch mode");
+  const std::size_t lane = gap_.size();
+
+  gap_.push_back(cell.gap());
+  warm_i_.push_back(0.0);
+  rate_factor_.push_back(cell.rate_factor());
+  params_.push_back(cell.params());
+  StackConfig stack = cell.stack();
+  stack.bl_through_mirror = through_mirror;
+  stacks_.push_back(stack);
+  cells_.push_back(&cell);
+
+  LaneControl control;
+  control.pulse = pulse;
+  spice::PulseSpec spec;
+  spec.v1 = 0.0;
+  spec.v2 = pulse.amplitude;
+  spec.delay = 0.0;
+  spec.rise = pulse.rise;
+  spec.fall = pulse.fall;
+  spec.width = pulse.width;
+  control.natural = spice::PulseWaveform(spec);
+  control.polarity = polarity;
+  control.v_wl = v_wl;
+  control.dt_max = dt_max;
+  control.iref = iref;
+  control.termination_delay = termination_delay;
+  control.natural_end = pulse.rise + pulse.width + pulse.fall;
+  control.t_end = control.natural_end;
+  control.virgin = cell.virgin();
+  control_.push_back(control);
+  return lane;
+}
+
+double CellBatch::drive_value(const LaneControl& lane, double t) const {
+  // Natural trapezoid until a termination command; afterwards the drive ramps
+  // down from its value at the command instant (same as FastCell::run_pulse).
+  if (lane.ramp_start < 0.0 || t <= lane.ramp_start) return lane.natural.value(t);
+  const double into = t - lane.ramp_start;
+  if (into >= lane.pulse.fall) return 0.0;
+  return lane.ramp_from * (1.0 - into / lane.pulse.fall);
+}
+
+bool CellBatch::step_lane(std::size_t lane) {
+  LaneControl& c = control_[lane];
+  OperationResult& result = results_[lane];
+
+  if (!(c.t < c.t_end - 1e-15)) {
+    // Pulse complete: finalize the result and write the state back.
+    result.t_end = c.t_end;
+    if (!result.terminated) result.t_terminate = c.natural_end;
+    result.final_gap = gap_[lane];
+    cells_[lane]->set_gap(gap_[lane]);
+    cells_[lane]->set_virgin(c.virgin);
+    return false;
+  }
+
+  const OxramParams& p = params_[lane];
+  const double v_d = drive_value(c, c.t);
+  const StackOperatingPoint sp =
+      solve_stack_warm(p, gap_[lane], stacks_[lane], c.polarity, v_d, c.v_wl,
+                       warm_i_[lane]);
+  warm_i_[lane] = sp.current;
+  const double sign = c.polarity == Polarity::kReset ? -1.0 : 1.0;
+  const double v_cell_signed = sign * sp.v_cell;
+
+  // Trapezoidal energy accumulation.
+  if (!c.first_sample) {
+    const double dt_seg = c.t - c.prev_t;
+    result.energy_source += 0.5 * (c.prev_p_src + v_d * sp.current) * dt_seg;
+    result.energy_cell += 0.5 * (c.prev_p_cell + sp.v_cell * sp.current) * dt_seg;
+  }
+  c.prev_p_src = v_d * sp.current;
+  c.prev_p_cell = sp.v_cell * sp.current;
+
+  // Termination detection (plateau only, falling crossing or already-below).
+  if (c.iref >= 0.0 && !result.terminated && c.t >= c.pulse.rise && c.ramp_start < 0.0) {
+    if (sp.current <= c.iref) {
+      // Linear interpolation to the crossing inside the last step.
+      double t_cross = c.t;
+      if (!c.first_sample && c.prev_i > c.iref) {
+        t_cross = c.prev_t +
+                  (c.t - c.prev_t) * (c.prev_i - c.iref) / (c.prev_i - sp.current);
+      }
+      result.terminated = true;
+      result.t_terminate = t_cross;
+      c.ramp_start = t_cross + c.termination_delay;
+      c.ramp_from = drive_value(c, c.ramp_start);
+      c.t_end = std::min(c.t_end, c.ramp_start + c.pulse.fall);
+    }
+  }
+  c.prev_i = sp.current;
+  c.prev_t = c.t;
+  c.first_sample = false;
+
+  // --- choose the next step (identical policy to FastCell::run_pulse) ---
+  double gap_fraction = 0.1;
+  double dt_cap = c.dt_max;
+  if (c.iref >= 0.0 && !result.terminated && sp.current > 0.0 &&
+      sp.current < 2.0 * c.iref) {
+    gap_fraction = 0.004;
+    dt_cap = std::min(dt_cap, 5e-9);
+  }
+  double dt = std::min(dt_cap, recommended_dt(p, v_cell_signed, gap_[lane], c.virgin,
+                                              rate_factor_[lane], gap_fraction));
+  for (double corner : {c.pulse.rise, c.pulse.rise + c.pulse.width, c.ramp_start,
+                        c.ramp_start >= 0.0 ? c.ramp_start + c.pulse.fall : -1.0,
+                        c.t_end}) {
+    if (corner > c.t + 1e-15 && corner < c.t + dt) dt = corner - c.t;
+  }
+  dt = std::max(dt, 1e-13);
+
+  gap_[lane] =
+      advance_gap(p, v_cell_signed, gap_[lane], c.virgin, dt, rate_factor_[lane]);
+  if (c.virgin && gap_[lane] < p.g_max * 0.98) c.virgin = false;
+  c.t += dt;
+  return true;
+}
+
+std::vector<OperationResult> CellBatch::run() {
+  BatchMetrics& metrics = BatchMetrics::get();
+  metrics.runs.add();
+  metrics.lanes.add(size());
+  obs::ScopedTimer run_timer(metrics.run_time);
+  const auto start = std::chrono::steady_clock::now();
+
+  results_.assign(size(), OperationResult{});
+  for (std::size_t lane = 0; lane < size(); ++lane) results_[lane].final_gap = gap_[lane];
+
+  // Active-lane compaction: each round visits only the lanes still
+  // programming; a completed lane retires in place and is never visited
+  // again, so late rounds iterate only the stragglers (the deep levels).
+  std::vector<std::size_t> active(size());
+  std::iota(active.begin(), active.end(), std::size_t{0});
+  std::uint64_t steps = 0;
+  while (!active.empty()) {
+    std::size_t kept = 0;
+    for (const std::size_t lane : active) {
+      if (step_lane(lane)) {
+        active[kept++] = lane;
+        ++steps;
+      } else {
+        metrics.lanes_retired.add();
+      }
+    }
+    active.resize(kept);
+    metrics.lanes_active.set(static_cast<double>(kept));
+  }
+  metrics.steps.add(steps);
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (elapsed > 0.0 && !gap_.empty()) {
+    metrics.throughput.set(static_cast<double>(gap_.size()) / elapsed);
+  }
+  return std::move(results_);
+}
+
+void CellBatch::clear() {
+  gap_.clear();
+  warm_i_.clear();
+  rate_factor_.clear();
+  params_.clear();
+  stacks_.clear();
+  control_.clear();
+  cells_.clear();
+  results_.clear();
+}
+
+}  // namespace oxmlc::oxram

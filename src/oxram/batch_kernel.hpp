@@ -1,0 +1,111 @@
+// Batched structure-of-arrays fast path: N cells advanced in lockstep
+// through the quasi-static stack solve and gap ODE.
+//
+// The scalar path (fast_cell.hpp) programs one cell at a time; array-scale
+// workloads — a 16-cell word RESET, a 16-level Monte-Carlo trial, a full
+// array image — are loops over it, O(cells) serial inner bisections. This
+// kernel holds the hot per-lane state (gap, warm-start current, C2C rate
+// factor, sampled device parameters) in contiguous arrays and advances every
+// active lane one time step per round:
+//
+//   while lanes remain active:
+//     for each active lane: solve stack (warm-start Newton), advance gap ODE
+//     compact: lanes whose pulse completed retire and stop being visited
+//
+// Per-lane termination masking is the SoA analogue of the per-bit-line stop
+// in array/word_path.hpp: a lane whose cell current reaches its IrefR enters
+// its commanded ramp-down and retires, while neighbouring lanes keep
+// programming to their own (deeper) references.
+//
+// Each lane replays exactly the control flow of FastCell::run_pulse — same
+// waveform, same termination interpolation, same step-size policy, same gap
+// integrator — and the stack solve converges to the same root within the
+// shared kStackSolveRelTol (see fast_cell.hpp). The only difference is the
+// solver: warm-started safeguarded Newton (~3-5 residual evaluations) in
+// place of the scalar path's ~52-halving bisection. The batch-vs-scalar
+// equivalence suite (tests/batch_kernel_test.cpp) pins the agreement.
+//
+// Trajectory recording is a scalar-path-only feature: add_* throws when an
+// operation requests it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "oxram/fast_cell.hpp"
+#include "spice/waveform.hpp"
+
+namespace oxmlc::oxram {
+
+class CellBatch {
+ public:
+  CellBatch() = default;
+
+  // Adds one lane programming `cell` with the given operation. The cell's
+  // parameters, stack, gap, virgin flag and rate factor are snapshotted at
+  // add time; run() writes the final gap/virgin state back. Returns the lane
+  // id (index into run()'s result vector). A cell must appear in at most one
+  // lane per run, and must not be read or mutated while run() is executing.
+  std::size_t add_reset(FastCell& cell, const ResetOperation& op);
+  std::size_t add_set(FastCell& cell, const SetOperation& op);
+  std::size_t add_forming(FastCell& cell, const FormingOperation& op);
+
+  std::size_t size() const { return gap_.size(); }
+  bool empty() const { return gap_.empty(); }
+
+  // Advances every lane to completion and returns per-lane results indexed
+  // by lane id. One-shot: call clear() before reusing the batch (capacity is
+  // retained across clear()).
+  std::vector<OperationResult> run();
+
+  void clear();
+
+ private:
+  // Cold per-lane state: the operation spec and the stepping variables of
+  // FastCell::run_pulse, hoisted out of the call stack so a lane can be
+  // advanced one step at a time.
+  struct LaneControl {
+    PulseShape pulse;
+    spice::PulseWaveform natural{spice::PulseSpec{}};
+    Polarity polarity = Polarity::kSet;
+    double v_wl = 0.0;
+    double dt_max = 0.0;
+    double iref = -1.0;  // < 0: no termination (SET / forming / untimed RESET)
+    double termination_delay = 0.0;
+    double natural_end = 0.0;
+    double t = 0.0;
+    double t_end = 0.0;
+    double ramp_start = -1.0;
+    double ramp_from = 0.0;
+    double prev_i = 0.0;
+    double prev_p_src = 0.0;
+    double prev_p_cell = 0.0;
+    double prev_t = 0.0;
+    bool first_sample = true;
+    bool virgin = false;
+  };
+
+  std::size_t add_lane(FastCell& cell, const PulseShape& pulse, Polarity polarity,
+                       double v_wl, bool through_mirror, double iref,
+                       double termination_delay, bool record_trajectory, double dt_max);
+
+  double drive_value(const LaneControl& lane, double t) const;
+
+  // Advances one lane by one time step; false when the lane's pulse is
+  // complete (the lane is finalized and its cell state written back).
+  bool step_lane(std::size_t lane);
+
+  // Hot SoA state, indexed by lane id. gap_ and warm_i_ are read and written
+  // every step; params_/stacks_/rate_factor_ are read-only during run().
+  std::vector<double> gap_;
+  std::vector<double> warm_i_;
+  std::vector<double> rate_factor_;
+  std::vector<OxramParams> params_;
+  std::vector<StackConfig> stacks_;
+
+  std::vector<LaneControl> control_;
+  std::vector<FastCell*> cells_;
+  std::vector<OperationResult> results_;
+};
+
+}  // namespace oxmlc::oxram

@@ -3,31 +3,32 @@
 #include <algorithm>
 #include <cmath>
 
+#include "oxram/stack_solver.hpp"
 #include "spice/waveform.hpp"
 #include "util/error.hpp"
 
 namespace oxmlc::oxram {
 namespace {
 
-// Drain current of the access transistor with Vds clamped at 0 (the stack
-// solver only probes the forward-conduction branch).
-double access_current(const dev::MosfetParams& params, double vgs, double vds) {
-  if (vds <= 0.0) return 0.0;
-  return dev::evaluate_level1(params, vgs, vds, 0.0).ids;
+// Assembles the operating point once the solved current is known.
+StackOperatingPoint operating_point_at(const detail::StackProblem& problem, double i,
+                                       double v_cell, double v_sink) {
+  StackOperatingPoint op;
+  op.current = i;
+  op.v_cell = v_cell;
+  op.v_sink = v_sink;
+  if (problem.reset_polarity) {
+    op.v_access = std::max(
+        0.0, (problem.v_drive - i * problem.stack.r_series) - (op.v_sink + op.v_cell));
+  } else {
+    op.v_access = std::max(0.0, problem.v_drive - i * problem.stack.r_series - op.v_cell);
+  }
+  return op;
 }
 
-// Gate-source voltage of the diode-connected mirror input at current i
-// (level-1 saturation inverse; the mirror is wide, so Vov stays small).
-double mirror_drop(const dev::MosfetParams& params, double i) {
-  if (i <= 0.0) return params.vt0;
-  return params.vt0 + std::sqrt(2.0 * i / params.beta());
-}
-
-// Cell voltage magnitude carrying current i at gap g, saturated at v_cap.
-double cell_voltage_capped(const OxramParams& cell, double i, double g, double v_cap) {
-  if (i <= 0.0) return 0.0;
-  if (cell_current(cell, v_cap, g) <= i) return v_cap;
-  return voltage_for_current(cell, i, g, v_cap);
+// Interval convergence test shared by both solvers (see fast_cell.hpp).
+bool bracket_converged(double lo, double hi) {
+  return hi - lo <= std::max(kStackSolveRelTol * hi, kStackSolveAbsTol);
 }
 
 }  // namespace
@@ -37,52 +38,73 @@ StackOperatingPoint solve_stack(const OxramParams& cell, double g, const StackCo
   StackOperatingPoint op;
   if (v_drive <= 0.0) return op;
 
-  const double v_cap = 5.0;
-  const bool through_mirror = stack.bl_through_mirror && polarity == Polarity::kReset;
+  const detail::StackProblem problem{
+      cell,          stack, g, v_drive, v_wl, polarity == Polarity::kReset,
+      stack.bl_through_mirror && polarity == Polarity::kReset};
 
-  // F(i) = Ids_access(i) - i, strictly decreasing in i.
-  auto residual = [&](double i) {
-    const double v_c = cell_voltage_capped(cell, i, g, v_cap);
-    const double v_sink = through_mirror ? mirror_drop(stack.mirror, i) : 0.0;
-    double vgs = 0.0, vds = 0.0;
-    if (polarity == Polarity::kReset) {
-      // SL (drive) - access - BE - cell - TE/BL - [mirror] - gnd.
-      const double n_be = v_sink + v_c;
-      vgs = v_wl - n_be;
-      vds = (v_drive - i * stack.r_series) - n_be;
-    } else {
-      // BL (drive) - TE - cell - BE - access - SL/gnd.
-      const double n_be = v_drive - i * stack.r_series - v_c;
-      vgs = v_wl;
-      vds = n_be;
-    }
-    return access_current(stack.access, vgs, vds) - i;
-  };
-
-  double lo = 0.0, hi = 10e-3;
-  if (residual(lo) <= 0.0) return op;  // stack cannot conduct
-  OXMLC_CHECK(residual(hi) < 0.0, "solve_stack: upper current bracket too small");
-  // Bisection on the monotone residual; 52 halvings of a 10 mA bracket leave
-  // sub-pA resolution, far below any current the termination compares.
-  for (int iter = 0; iter < 52; ++iter) {
+  double lo = 0.0, hi = detail::kStackCurrentMax;
+  if (problem.residual(lo) <= 0.0) return op;  // stack cannot conduct
+  OXMLC_CHECK(problem.residual(hi) < 0.0, "solve_stack: upper current bracket too small");
+  // Bisection on the monotone residual, stopping early once the interval is
+  // resolved to the shared tolerance; the iteration cap reproduces the
+  // historical 52 halvings (sub-pA from a 10 mA bracket) when the relative
+  // criterion cannot engage.
+  for (int iter = 0; iter < kStackSolveMaxIter && !bracket_converged(lo, hi); ++iter) {
     const double mid = 0.5 * (lo + hi);
-    if (residual(mid) > 0.0) {
+    if (problem.residual(mid) > 0.0) {
       lo = mid;
     } else {
       hi = mid;
     }
   }
   const double i = 0.5 * (lo + hi);
+  const double v_cell = detail::cell_voltage_capped(cell, i, g, detail::kStackVcellCap);
+  const double v_sink =
+      problem.through_mirror ? detail::mirror_drop(stack.mirror, i) : 0.0;
+  return operating_point_at(problem, i, v_cell, v_sink);
+}
 
-  op.current = i;
-  op.v_cell = cell_voltage_capped(cell, i, g, v_cap);
-  op.v_sink = through_mirror ? mirror_drop(stack.mirror, i) : 0.0;
-  if (polarity == Polarity::kReset) {
-    op.v_access = std::max(0.0, (v_drive - i * stack.r_series) - (op.v_sink + op.v_cell));
-  } else {
-    op.v_access = std::max(0.0, v_drive - i * stack.r_series - op.v_cell);
+StackOperatingPoint solve_stack_warm(const OxramParams& cell, double g,
+                                     const StackConfig& stack, Polarity polarity,
+                                     double v_drive, double v_wl, double i_warm) {
+  StackOperatingPoint op;
+  if (v_drive <= 0.0) return op;
+
+  const detail::StackProblem problem{
+      cell,          stack, g, v_drive, v_wl, polarity == Polarity::kReset,
+      stack.bl_through_mirror && polarity == Polarity::kReset};
+
+  double lo = 0.0, hi = detail::kStackCurrentMax;
+  if (problem.residual(lo) <= 0.0) return op;  // stack cannot conduct
+
+  // Safeguarded Newton. F' <= -1 everywhere, so |i - root| <= |F(i)| is a
+  // rigorous error bound — tighter than the bracket, which Newton's one-sided
+  // convergence rarely closes. Iterates escaping the bracket fall back to
+  // bisection, so the worst case degrades to the scalar solver, never past it.
+  double i = i_warm > 0.0 && i_warm < hi ? i_warm : 0.5 * (lo + hi);
+  double v_cell = 0.0, v_sink = 0.0;
+  for (int iter = 0; iter < 64; ++iter) {
+    double dfdi = -1.0;
+    const double f = problem.residual_with_derivative(i, dfdi, &v_cell, &v_sink);
+    if (std::fabs(f) <= std::max(kStackSolveRelTol * i, kStackSolveAbsTol)) {
+      return operating_point_at(problem, i, v_cell, v_sink);
+    }
+    if (f > 0.0) {
+      lo = i;
+    } else {
+      hi = i;
+    }
+    if (bracket_converged(lo, hi)) break;
+    double i_next = i - f / dfdi;
+    if (!(i_next > lo && i_next < hi)) i_next = 0.5 * (lo + hi);
+    i = i_next;
   }
-  return op;
+  OXMLC_CHECK(hi < detail::kStackCurrentMax || problem.residual(hi) < 0.0,
+              "solve_stack_warm: upper current bracket too small");
+  i = 0.5 * (lo + hi);
+  v_cell = detail::cell_voltage_capped(cell, i, g, detail::kStackVcellCap);
+  v_sink = problem.through_mirror ? detail::mirror_drop(stack.mirror, i) : 0.0;
+  return operating_point_at(problem, i, v_cell, v_sink);
 }
 
 FastCell::FastCell(const OxramParams& params, const StackConfig& stack, double initial_gap,

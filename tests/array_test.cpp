@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "array/fast_array.hpp"
 #include "array/mismatch.hpp"
@@ -336,6 +340,94 @@ TEST(FastArray, RefreshCycleRateVaries) {
   for (int i = 0; i < 200; ++i) factors.add(array.refresh_cycle_rate(0, 0));
   EXPECT_GT(factors.stddev(), 0.02);
   EXPECT_NEAR(factors.mean(), 1.0, 0.05);
+}
+
+TEST(FastArray, OutOfRangeAccessReportsIndexAndDims) {
+  const oxram::OxramParams nominal;
+  FastArray array(4, 2, nominal, oxram::OxramVariability{}, oxram::StackConfig{}, 21);
+  EXPECT_THROW(array.at(4, 0), oxmlc::InvalidArgumentError);
+  EXPECT_THROW(array.at(0, 2), oxmlc::InvalidArgumentError);
+  EXPECT_THROW(array.rng_at(4, 2), oxmlc::InvalidArgumentError);
+  EXPECT_THROW(std::as_const(array).at(9, 9), oxmlc::InvalidArgumentError);
+  try {
+    array.at(4, 1);
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const oxmlc::InvalidArgumentError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("(4, 1)"), std::string::npos) << what;
+    EXPECT_NE(what.find("4x2"), std::string::npos) << what;
+  }
+}
+
+// The batched entry points (form_all / set_word / program_word) must leave
+// every cell in the same state — to stack-solver tolerance — as the scalar
+// refresh+apply loop they replace, including the per-cell rng consumption.
+TEST(FastArray, BatchedWordProgrammingMatchesScalarLoop) {
+  const oxram::OxramParams nominal;
+  const oxram::OxramVariability variability;
+  const oxram::StackConfig stack;
+  FastArray batched(2, 8, nominal, variability, stack, 99);
+  FastArray scalar(2, 8, nominal, variability, stack, 99);
+
+  const auto rel = [](double a, double b) {
+    return std::fabs(a - b) / std::max({std::fabs(a), std::fabs(b), 1e-300});
+  };
+
+  batched.form_all();
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      scalar.refresh_cycle_rate(r, c);
+      scalar.at(r, c).apply_forming({});
+    }
+  }
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_LT(rel(batched.at(r, c).gap(), scalar.at(r, c).gap()), 1e-9);
+    }
+  }
+
+  const oxram::SetOperation set_op;
+  batched.set_word(0, set_op);
+  for (std::size_t c = 0; c < 8; ++c) {
+    scalar.refresh_cycle_rate(0, c);
+    scalar.at(0, c).apply_set(set_op);
+  }
+
+  std::vector<oxram::ResetOperation> resets(8);
+  for (std::size_t c = 0; c < 8; ++c) {
+    resets[c].iref = 34e-6 - 4e-6 * static_cast<double>(c) + 2e-6;  // 36 .. 8 uA
+  }
+  const auto word_results = batched.program_word(0, resets);
+  ASSERT_EQ(word_results.size(), 8u);
+  for (std::size_t c = 0; c < 8; ++c) {
+    scalar.refresh_cycle_rate(0, c);
+    const auto cell_result = scalar.at(0, c).apply_reset(resets[c]);
+    EXPECT_EQ(word_results[c].terminated, cell_result.terminated) << c;
+    EXPECT_LT(rel(word_results[c].final_gap, cell_result.final_gap), 1e-9) << c;
+    EXPECT_LT(rel(word_results[c].t_terminate, cell_result.t_terminate), 1e-9) << c;
+    EXPECT_LT(rel(batched.at(0, c).gap(), scalar.at(0, c).gap()), 1e-9) << c;
+  }
+
+  EXPECT_THROW(batched.program_word(0, std::vector<oxram::ResetOperation>(3)),
+               oxmlc::InvalidArgumentError);
+}
+
+TEST(FastArray, ProgramImageProgramsEveryCell) {
+  const oxram::OxramParams nominal;
+  FastArray array(4, 4, nominal, oxram::OxramVariability{}, oxram::StackConfig{}, 13);
+  array.form_all();
+  std::vector<oxram::ResetOperation> ops(array.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ops[i].iref = 16e-6 + 2e-6 * static_cast<double>(i % 8);
+  }
+  const auto results = array.program_image(ops);
+  ASSERT_EQ(results.size(), 16u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].terminated) << i;
+    EXPECT_GT(array.at(i / 4, i % 4).read().r_cell, 20e3) << i;
+  }
+  EXPECT_THROW(array.program_image(std::vector<oxram::ResetOperation>(4)),
+               oxmlc::InvalidArgumentError);
 }
 
 }  // namespace

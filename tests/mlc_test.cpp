@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "mlc/levels.hpp"
 #include "mlc/margins.hpp"
@@ -349,6 +351,91 @@ TEST(McStudy, LevelsAreOrderedAndPopulated) {
     EXPECT_EQ(dists[v].resistance.size(), 5u);
     EXPECT_EQ(dists[v].energy.size(), 5u);
     EXPECT_EQ(dists[v].latency.size(), 5u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// batched word programming
+// ---------------------------------------------------------------------------
+
+namespace {
+double rel_diff(double a, double b) {
+  return std::fabs(a - b) / std::max({std::fabs(a), std::fabs(b), 1e-300});
+}
+}  // namespace
+
+// program_word must consume each cell's rng stream exactly as N scalar
+// program() calls would (identical sampled conditions) and land each cell on
+// the same state to stack-solver tolerance.
+TEST(Programmer, ProgramWordMatchesScalarProgram) {
+  const QlcProgrammer programmer(test_config());
+  const std::size_t n = 16;
+
+  std::vector<oxram::FastCell> scalar_cells, word_cells;
+  std::vector<Rng> scalar_rngs, word_rngs;
+  std::vector<std::size_t> levels(n);
+  Rng seeder(0xBA7C11);
+  for (std::size_t k = 0; k < n; ++k) {
+    levels[k] = k;
+    Rng device_rng = seeder.split();
+    const auto device =
+        sample_device(oxram::OxramParams{}, oxram::OxramVariability{}, device_rng);
+    scalar_cells.push_back(oxram::FastCell::formed_lrs(device, oxram::StackConfig{}));
+    word_cells.push_back(oxram::FastCell::formed_lrs(device, oxram::StackConfig{}));
+    const Rng stream = seeder.split();  // copied: identical streams per path
+    scalar_rngs.push_back(stream);
+    word_rngs.push_back(stream);
+  }
+
+  std::vector<ProgramOutcome> scalar;
+  for (std::size_t k = 0; k < n; ++k) {
+    scalar.push_back(programmer.program(scalar_cells[k], levels[k], scalar_rngs[k]));
+  }
+
+  std::vector<oxram::FastCell*> cell_ptrs(n);
+  std::vector<Rng*> rng_ptrs(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cell_ptrs[k] = &word_cells[k];
+    rng_ptrs[k] = &word_rngs[k];
+  }
+  const std::vector<ProgramOutcome> word =
+      programmer.program_word(cell_ptrs, levels, rng_ptrs);
+
+  ASSERT_EQ(word.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(word[k].level, scalar[k].level);
+    EXPECT_EQ(word[k].terminated, scalar[k].terminated) << k;
+    // The mismatch draw must be bit-identical — same stream, same order.
+    EXPECT_DOUBLE_EQ(word[k].effective_iref, scalar[k].effective_iref) << k;
+    EXPECT_LT(rel_diff(word[k].resistance, scalar[k].resistance), 1e-9) << k;
+    EXPECT_LT(rel_diff(word[k].latency, scalar[k].latency), 1e-9) << k;
+    EXPECT_LT(rel_diff(word[k].energy, scalar[k].energy), 1e-8) << k;
+    EXPECT_LT(rel_diff(word[k].set_energy, scalar[k].set_energy), 1e-8) << k;
+    EXPECT_LT(rel_diff(word_cells[k].gap(), scalar_cells[k].gap()), 1e-9) << k;
+  }
+
+  const std::vector<std::size_t> short_levels(n - 1, 0);
+  EXPECT_THROW(programmer.program_word(cell_ptrs, short_levels, rng_ptrs),
+               InvalidArgumentError);
+}
+
+TEST(McStudy, BatchedStudyMatchesScalarStudy) {
+  auto config = paper_mc_study(4, 3);
+  config.batch_levels = true;
+  const auto batched = run_level_study(config);
+  config.batch_levels = false;
+  const auto scalar = run_level_study(config);
+  ASSERT_EQ(batched.size(), scalar.size());
+  for (std::size_t level = 0; level < scalar.size(); ++level) {
+    ASSERT_EQ(batched[level].resistance.size(), scalar[level].resistance.size());
+    for (std::size_t t = 0; t < scalar[level].resistance.size(); ++t) {
+      EXPECT_LT(rel_diff(batched[level].resistance[t], scalar[level].resistance[t]), 1e-7)
+          << "level " << level << " trial " << t;
+      EXPECT_LT(rel_diff(batched[level].latency[t], scalar[level].latency[t]), 1e-7)
+          << "level " << level << " trial " << t;
+      EXPECT_LT(rel_diff(batched[level].energy[t], scalar[level].energy[t]), 1e-6)
+          << "level " << level << " trial " << t;
+    }
   }
 }
 
