@@ -2,12 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace oxmlc::mlc {
+namespace {
+
+struct ControllerMetrics {
+  obs::Counter& verify_passes = obs::registry().counter("reliability.verify_passes");
+  obs::Counter& verify_resenses = obs::registry().counter("reliability.verify_resenses");
+  obs::Counter& verify_reprograms = obs::registry().counter("reliability.verify_reprograms");
+  obs::Counter& scrub_words = obs::registry().counter("reliability.scrub_words");
+  obs::Counter& cells_scrubbed = obs::registry().counter("reliability.cells_scrubbed");
+
+  static ControllerMetrics& get() {
+    static ControllerMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 MemoryController::MemoryController(array::FastArray& array, const QlcProgrammer& programmer)
-    : array_(array), programmer_(programmer) {
+    : array_(array), programmer_(programmer), written_levels_(array.rows()) {
   const std::size_t bits = programmer_.config().allocation.bits;
   OXMLC_CHECK(bits * array_.cols() <= 64,
               "MemoryController: word payload exceeds 64 bits; use write_word_levels");
@@ -17,7 +34,59 @@ std::size_t MemoryController::bits_per_word() const {
   return programmer_.config().allocation.bits * array_.cols();
 }
 
-void MemoryController::form() { array_.form_all(); }
+void MemoryController::form() {
+  array_.form_all();
+  if (reliability_ != nullptr) {
+    // FORMING is a program event: anchor every cell's drift trajectory at the
+    // freshly formed LRS gap.
+    for (std::size_t row = 0; row < array_.rows(); ++row) {
+      for (std::size_t col = 0; col < array_.cols(); ++col) {
+        reliability_->on_programmed(row, col);
+      }
+    }
+  }
+}
+
+void MemoryController::attach_reliability(reliability::ReliabilityEngine* engine,
+                                          VerifyPolicy policy) {
+  OXMLC_CHECK(engine == nullptr || &engine->array() == &array_,
+              "attach_reliability: engine must be bound to this controller's array");
+  reliability_ = engine;
+  verify_ = policy;
+}
+
+std::vector<std::size_t> MemoryController::drifted_columns(
+    std::size_t row, std::span<const std::size_t> expected) {
+  std::vector<std::size_t> drifted;
+  for (std::size_t col = 0; col < array_.cols(); ++col) {
+    if (reliability_ != nullptr) {
+      reliability_->on_read(row, col, programmer_.config().v_read,
+                            programmer_.config().v_wl_read);
+    }
+    const std::size_t decoded =
+        programmer_.read_level(array_.at(row, col), array_.rng_at(row, col));
+    if (decoded != expected[col]) drifted.push_back(col);
+  }
+  return drifted;
+}
+
+std::vector<ProgramOutcome> MemoryController::program_columns(
+    std::size_t row, std::span<const std::size_t> cols,
+    std::span<const std::size_t> levels) {
+  std::vector<oxram::FastCell*> cells(cols.size());
+  std::vector<Rng*> rngs(cols.size());
+  std::vector<std::size_t> target(cols.size());
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    cells[k] = &array_.at(row, cols[k]);
+    rngs[k] = &array_.rng_at(row, cols[k]);
+    target[k] = levels[cols[k]];
+  }
+  std::vector<ProgramOutcome> outcomes = programmer_.program_word(cells, target, rngs);
+  if (reliability_ != nullptr) {
+    for (std::size_t col : cols) reliability_->on_programmed(row, col);
+  }
+  return outcomes;
+}
 
 WordWriteStats MemoryController::write_word_levels(std::size_t row,
                                                    std::span<const std::size_t> levels) {
@@ -44,6 +113,36 @@ WordWriteStats MemoryController::write_word_levels(std::size_t row,
     stats.latency = std::max(stats.latency, outcome.latency);
     stats.unterminated += outcome.terminated ? 0 : 1;
   }
+  written_levels_[row].assign(levels.begin(), levels.end());
+  if (reliability_ != nullptr) {
+    for (std::size_t col = 0; col < array_.cols(); ++col) {
+      reliability_->on_programmed(row, col);
+    }
+    if (verify_.enabled) {
+      ControllerMetrics& metrics = ControllerMetrics::get();
+      for (std::size_t pass = 0; pass < verify_.max_passes; ++pass) {
+        // Let the fast relaxation express before judging the write — an
+        // immediate verify would pass every cell and catch nothing.
+        reliability_->advance(verify_.tau_relax);
+        stats.latency += verify_.tau_relax;
+        ++stats.verify_passes;
+        metrics.verify_passes.add();
+        const std::vector<std::size_t> drifted = drifted_columns(row, levels);
+        metrics.verify_resenses.add(array_.cols());
+        if (drifted.empty()) break;
+        const std::vector<ProgramOutcome> redo = program_columns(row, drifted, levels);
+        double redo_latency = 0.0;
+        for (const ProgramOutcome& outcome : redo) {
+          stats.energy += outcome.energy + outcome.set_energy;
+          redo_latency = std::max(redo_latency, outcome.latency);
+          stats.unterminated += outcome.terminated ? 0 : 1;
+        }
+        stats.latency += redo_latency;
+        stats.reprogrammed += drifted.size();
+        metrics.verify_reprograms.add(drifted.size());
+      }
+    }
+  }
   total_energy_ += stats.energy;
   ++words_written_;
   return stats;
@@ -53,10 +152,50 @@ std::vector<std::size_t> MemoryController::read_word_levels(std::size_t row) {
   std::vector<std::size_t> levels;
   levels.reserve(array_.cols());
   for (std::size_t col = 0; col < array_.cols(); ++col) {
+    if (reliability_ != nullptr) {
+      reliability_->on_read(row, col, programmer_.config().v_read,
+                            programmer_.config().v_wl_read);
+    }
     levels.push_back(
         programmer_.read_level(array_.at(row, col), array_.rng_at(row, col)));
   }
   return levels;
+}
+
+ScrubStats MemoryController::scrub_word(std::size_t row) {
+  OXMLC_CHECK(row < array_.rows(), "scrub_word: row out of range");
+  ScrubStats stats;
+  const std::vector<std::size_t>& expected = written_levels_[row];
+  if (expected.empty()) {
+    return stats;  // nothing recorded for this word
+  }
+  ControllerMetrics& metrics = ControllerMetrics::get();
+  ++stats.words;
+  metrics.scrub_words.add();
+  stats.cells_checked += array_.cols();
+  const std::vector<std::size_t> drifted = drifted_columns(row, expected);
+  if (!drifted.empty()) {
+    const std::vector<ProgramOutcome> redo = program_columns(row, drifted, expected);
+    for (const ProgramOutcome& outcome : redo) {
+      stats.energy += outcome.energy + outcome.set_energy;
+    }
+    stats.cells_scrubbed += drifted.size();
+    metrics.cells_scrubbed.add(drifted.size());
+  }
+  total_energy_ += stats.energy;
+  return stats;
+}
+
+ScrubStats MemoryController::scrub_all() {
+  ScrubStats total;
+  for (std::size_t row = 0; row < array_.rows(); ++row) {
+    const ScrubStats stats = scrub_word(row);
+    total.words += stats.words;
+    total.cells_checked += stats.cells_checked;
+    total.cells_scrubbed += stats.cells_scrubbed;
+    total.energy += stats.energy;
+  }
+  return total;
 }
 
 WordWriteStats MemoryController::write_word(std::size_t row, std::uint64_t payload) {

@@ -11,6 +11,23 @@
 //
 // On top of the word flow the controller packs/unpacks user data: with 4-bit
 // cells, one 8-cell word carries 32 bits of payload.
+//
+// Reliability-aware operation (attach_reliability): with a ReliabilityEngine
+// attached the controller notifies it of every program/sense event, and two
+// policies become available on top of the plain word flow:
+//
+//  * relaxation-aware verify (VerifyPolicy, after arXiv:2301.08516): the
+//    fast post-program relaxation is a stochastic per-event amplitude, so
+//    instead of verifying immediately — when nothing has moved yet — the
+//    controller waits tau_relax (long enough for the fast component to
+//    mostly express), re-senses the word, and re-terminates only the cells
+//    whose relaxation draw carried them out of their IrefR band. Each
+//    re-program gets a fresh draw; the loop is a selection filter on the
+//    relaxation tail, which is what recovers the inter-level window.
+//  * scrub (scrub_word / scrub_all): re-senses words against their recorded
+//    written levels at any later time and re-programs the cells that slow
+//    retention drift has carried across a decode threshold — the refresh
+//    loop of a managed-reliability controller.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +35,7 @@
 
 #include "array/fast_array.hpp"
 #include "mlc/program.hpp"
+#include "reliability/engine.hpp"
 
 namespace oxmlc::mlc {
 
@@ -25,6 +43,26 @@ struct WordWriteStats {
   double energy = 0.0;          // summed over the word's cells (SET + RST)
   double latency = 0.0;         // slowest bit's termination time (parallel RST)
   std::size_t unterminated = 0; // bits whose RST timed out (should be 0)
+  std::size_t verify_passes = 0;  // relaxation-verify re-sense rounds executed
+  std::size_t reprogrammed = 0;   // cells re-terminated by the verify loop
+};
+
+// Relaxation-aware program-verify policy (active only with an attached
+// ReliabilityEngine). Energy/latency of the extra passes are charged to the
+// write's WordWriteStats.
+struct VerifyPolicy {
+  bool enabled = false;
+  double tau_relax = 1e-3;     // s; wait before each re-sense (fast component
+                               // is >99 % expressed at 1 ms with the default
+                               // tau_fast = 1 us, nu_fast = 0.8)
+  std::size_t max_passes = 2;  // re-sense rounds per write
+};
+
+struct ScrubStats {
+  std::size_t words = 0;          // words re-sensed
+  std::size_t cells_checked = 0;
+  std::size_t cells_scrubbed = 0; // cells found out of band and re-terminated
+  double energy = 0.0;            // SET + RST energy of the re-programs
 };
 
 class MemoryController {
@@ -40,11 +78,25 @@ class MemoryController {
   // One-time FORMING of the whole array.
   void form();
 
+  // Attaches a reliability engine (must be bound to this controller's array).
+  // From then on every program/sense is reported to the engine, and `policy`
+  // governs the relaxation-aware verify loop appended to each word write.
+  void attach_reliability(reliability::ReliabilityEngine* engine, VerifyPolicy policy = {});
+  const VerifyPolicy& verify_policy() const { return verify_; }
+
   // Writes one word of per-cell levels (size = cells_per_word).
   WordWriteStats write_word_levels(std::size_t row, std::span<const std::size_t> levels);
 
   // Reads the word back as per-cell levels.
   std::vector<std::size_t> read_word_levels(std::size_t row);
+
+  // Scrub: re-sense a previously written word against its recorded levels and
+  // re-terminate any cell that drifted across a decode threshold. Words never
+  // written through this controller are skipped (scrub_all) or a no-op
+  // (scrub_word). Requires an attached reliability engine only for the event
+  // notifications — the decode itself is the ordinary read path.
+  ScrubStats scrub_word(std::size_t row);
+  ScrubStats scrub_all();
 
   // Packed-payload convenience: bits_per_word() payload bits, little-endian
   // nibble order (cell 0 holds the least significant bits).
@@ -56,8 +108,20 @@ class MemoryController {
   std::size_t words_written() const { return words_written_; }
 
  private:
+  // Re-senses the word; returns the columns whose decode disagrees with
+  // `expected` (notifying the engine of the sense disturb first).
+  std::vector<std::size_t> drifted_columns(std::size_t row,
+                                           std::span<const std::size_t> expected);
+  // Batched re-terminate of a column subset; reports events to the engine.
+  std::vector<ProgramOutcome> program_columns(std::size_t row,
+                                              std::span<const std::size_t> cols,
+                                              std::span<const std::size_t> levels);
+
   array::FastArray& array_;
   const QlcProgrammer& programmer_;
+  reliability::ReliabilityEngine* reliability_ = nullptr;
+  VerifyPolicy verify_;
+  std::vector<std::vector<std::size_t>> written_levels_;  // per row; empty = never written
   double total_energy_ = 0.0;
   std::size_t words_written_ = 0;
 };

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "mlc/levels.hpp"
@@ -41,12 +42,34 @@ struct MarginReport {
   double minimal_nominal_spacing = 0.0;  // Table 3 "Minimal dR"
   double worst_case_margin = 0.0;        // Table 3 "Worst case dR"
   bool any_overlap = false;
-
-  // Probability-free decode check: fraction of sample pairs that would
-  // misorder (0 when distributions are disjoint).
 };
 
 // `distributions` must be ordered by level value (ascending resistance).
+// Degenerate configurations with fewer than two levels have no adjacent
+// pairs: the report comes back with empty `margins` and NaN spacings rather
+// than throwing, so retention sweeps over reduced allocations stay total.
 MarginReport analyze_margins(const std::vector<LevelDistribution>& distributions);
+
+// Hard-decision decode statistics of the sampled distributions against a
+// fixed threshold bank — the BER(t) quantity of the retention sweeps.
+struct BerReport {
+  std::size_t samples = 0;  // total decoded samples
+  std::size_t errors = 0;   // samples decoding to a different level index
+  double ber = 0.0;         // errors / samples (0 when samples == 0)
+  std::vector<double> per_level_error;  // error fraction per input distribution
+};
+
+// Decode thresholds between adjacent levels: the geometric mean of each
+// adjacent pair's nominal resistance (the midpoint in log-R, where the
+// allocation window is closest to uniform). Ascending, size = count - 1;
+// zero-width bands (equal nominals) produce duplicated thresholds, which
+// decode_ber treats as an empty band rather than failing.
+std::vector<double> midpoint_thresholds(const LevelAllocation& allocation);
+
+// Decodes every resistance sample of `distributions[k]` against the ascending
+// `thresholds` (sample r decodes to the number of thresholds <= r) and counts
+// mismatches against k. `distributions` must be ordered as in analyze_margins.
+BerReport decode_ber(const std::vector<LevelDistribution>& distributions,
+                     std::span<const double> thresholds);
 
 }  // namespace oxmlc::mlc

@@ -1,16 +1,10 @@
 #include "mlc/mc_study.hpp"
 
 namespace oxmlc::mlc {
-namespace {
 
-// Independent seed per level so adding levels never reshuffles existing ones.
-// Shared by the scalar per-level runner and the batched whole-trial runner so
-// both consume bit-identical random streams.
-std::uint64_t level_seed(std::uint64_t base, std::size_t level) {
+std::uint64_t study_level_seed(std::uint64_t base, std::size_t level) {
   return base ^ (0x51ED270B2D4C4Dull * (level + 1));
 }
-
-}  // namespace
 
 McStudyConfig paper_mc_study(std::size_t bits, std::size_t trials) {
   McStudyConfig config;
@@ -36,7 +30,7 @@ LevelDistribution run_single_level(const McStudyConfig& config,
   };
 
   mc::McOptions options = config.mc;
-  options.seed = level_seed(config.mc.seed, level);
+  options.seed = study_level_seed(config.mc.seed, level);
 
   const std::function<Sample(std::size_t, Rng&)> trial = [&](std::size_t, Rng& rng) {
     const oxram::OxramParams device =
@@ -86,7 +80,7 @@ std::vector<LevelDistribution> run_level_study(const McStudyConfig& config) {
   // Batched study: one MC trial programs every level of the allocation as a
   // single CellBatch word — 16 lanes in lockstep with per-lane termination —
   // instead of 16 separate scalar cell loops. Each level keeps its own
-  // (level_seed, trial)-derived rng with the scalar draw order (device D2D,
+  // (study_level_seed, trial)-derived rng with the scalar draw order (device D2D,
   // then SET rate / IrefR mismatch / RST rate inside program_word), so the
   // sampled conditions are bit-identical to the per-level runner.
   struct LevelSample {
@@ -105,7 +99,7 @@ std::vector<LevelDistribution> run_level_study(const McStudyConfig& config) {
         cells.reserve(n_levels);
         for (std::size_t level = 0; level < n_levels; ++level) {
           levels[level] = level;
-          rngs.push_back(mc::trial_rng(level_seed(config.mc.seed, level), t));
+          rngs.push_back(mc::trial_rng(study_level_seed(config.mc.seed, level), t));
           const oxram::OxramParams device =
               sample_device(config.nominal, config.variability, rngs.back());
           cells.push_back(oxram::FastCell::formed_lrs(device, config.stack));

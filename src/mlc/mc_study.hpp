@@ -30,6 +30,12 @@ struct McStudyConfig {
 // paper's operating pulses.
 McStudyConfig paper_mc_study(std::size_t bits = 4, std::size_t trials = 500);
 
+// Independent seed per level so adding levels never reshuffles existing ones.
+// Shared by the scalar per-level runner, the batched whole-trial runner, and
+// the retention sweep (mlc/retention.hpp) so all consume bit-identical
+// random streams for the same (seed, level, trial).
+std::uint64_t study_level_seed(std::uint64_t base, std::size_t level);
+
 // Runs the study for every level of the allocation; distributions are ordered
 // by level value (ascending resistance). The per-level seed is derived from
 // (mc.seed, level) so levels are independent and reproducible.

@@ -1,0 +1,83 @@
+#include "oxram/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace oxmlc::oxram {
+namespace {
+
+constexpr double kBoltzmannEv = 8.617333262e-5;  // eV/K
+
+}  // namespace
+
+double drift_phi(double t, double tau, double nu) {
+  if (t <= 0.0) {
+    return 0.0;
+  }
+  return 1.0 - std::pow(1.0 + t / tau, -nu);
+}
+
+double drift_acceleration(const DriftParams& p) {
+  return std::exp(p.ea_retention / kBoltzmannEv *
+                  (1.0 / p.t_reference - 1.0 / p.t_operating));
+}
+
+double drifted_gap(const DriftParams& p, double g_anchor, double g_min,
+                   double relax_amp, double drift_amp, double t) {
+  if (!p.enabled || t <= 0.0) {
+    return g_anchor;
+  }
+  const double depth = std::max(g_anchor - g_min, 0.0);
+  const double loss = relax_amp * drift_phi(t, p.tau_fast, p.nu_fast) +
+                      drift_amp * drift_phi(t * drift_acceleration(p), p.tau_slow, p.nu_slow);
+  return g_anchor - depth * std::min(loss, 1.0);
+}
+
+void drifted_gap_batch(const DriftParams& p, std::span<const double> g_anchor,
+                       std::span<const double> g_min, std::span<const double> relax_amp,
+                       std::span<const double> drift_amp, std::span<const double> t,
+                       std::span<double> out) {
+  const std::size_t n = g_anchor.size();
+  OXMLC_CHECK(g_min.size() == n && relax_amp.size() == n && drift_amp.size() == n &&
+                  t.size() == n && out.size() == n,
+              "drifted_gap_batch: span length mismatch");
+  if (!p.enabled) {
+    std::copy(g_anchor.begin(), g_anchor.end(), out.begin());
+    return;
+  }
+  const double accel = drift_acceleration(p);
+  const double inv_tau_fast = 1.0 / p.tau_fast;
+  const double inv_tau_slow = accel / p.tau_slow;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ti = t[i];
+    if (ti <= 0.0) {
+      out[i] = g_anchor[i];
+      continue;
+    }
+    // phi = 1 - (1 + t/tau)^-nu evaluated as exp(-nu*log1p(t/tau)); agrees
+    // with the scalar pow() path to ~1 ulp (pinned at 1e-9 rel by tests).
+    const double phi_fast = 1.0 - std::exp(-p.nu_fast * std::log1p(ti * inv_tau_fast));
+    const double phi_slow = 1.0 - std::exp(-p.nu_slow * std::log1p(ti * inv_tau_slow));
+    const double depth = std::max(g_anchor[i] - g_min[i], 0.0);
+    const double loss = relax_amp[i] * phi_fast + drift_amp[i] * phi_slow;
+    out[i] = g_anchor[i] - depth * std::min(loss, 1.0);
+  }
+}
+
+double sample_relaxation_amplitude(const DriftParams& p, Rng& rng) {
+  if (!p.enabled) {
+    return 0.0;
+  }
+  return p.relax_fraction * rng.lognormal(0.0, p.sigma_relax);
+}
+
+double sample_drift_amplitude(const DriftParams& p, Rng& rng) {
+  if (!p.enabled) {
+    return 0.0;
+  }
+  return p.drift_fraction * rng.lognormal(0.0, p.sigma_drift_rel);
+}
+
+}  // namespace oxmlc::oxram

@@ -1,0 +1,109 @@
+// Post-program state evolution of the OxRAM gap: retention/relaxation drift.
+//
+// The write-termination scheme freezes the gap the instant the comparator
+// fires, but programmed HRS states are not stationary: the filament keeps
+// rearranging after the pulse ends. Measured OxRAM behaviour (programmed-state
+// stability studies, arXiv:1810.10528) is log-time conductance drift with two
+// distinguishable components, both of which selectively close adjacent-level
+// margins in an MLC allocation:
+//
+//   * fast post-program RELAXATION — a one-shot transient per program event:
+//     unstable vacancy configurations left behind by the terminated RESET
+//     settle within ~ms, partially re-closing the gap (resistance drops).
+//     Its magnitude is stochastic per event (a C2C quantity), which is what a
+//     relaxation-aware verify (arXiv:2301.08516) exploits: wait tau_relax,
+//     re-sense, and re-terminate only the cells whose draw landed in the tail.
+//   * slow RETENTION drift — thermally-activated filament regrowth over
+//     device lifetime, log-time with a per-cell activation (a D2D quantity),
+//     Arrhenius-accelerated by the bake/operating temperature.
+//
+// Both use the saturating log-time kernel
+//
+//   phi(t) = 1 - (1 + t/tau)^-nu        (0 at t = 0, -> 1 as t -> inf;
+//                                        ~ nu * ln(1 + t/tau) while small)
+//
+// and act multiplicatively on the programmed depth above the LRS floor:
+//
+//   g(t) = g_min + (g_anchor - g_min) *
+//          [1 - relax_amp * phi(t, tau_fast, nu_fast)
+//             - drift_amp * phi(t * a_T, tau_slow, nu_slow)]    (clamped)
+//
+// so deeper states drift by more in absolute gap — and, since R ~ exp(g/g0),
+// by much more in ohms — which is exactly the margin-closure asymmetry the
+// stability studies report. Every trajectory is monotone in t, so a
+// population's *open* inter-level window only ever shrinks and decode errors
+// only ever accumulate (both test-pinned). The relaxation amplitude is a
+// moderate-median, heavy-tailed lognormal: the bulk of program events stays
+// well inside a QLC band (which is what lets a few verify passes converge)
+// while the tail draws are the ones that cross bands and close the
+// worst-case window — the selection effect the relaxation-aware verify
+// exploits.
+//
+// The scalar drifted_gap() is the reference path; drifted_gap_batch() is the
+// SoA kernel the reliability engine advances whole arrays with (same
+// trajectories within 1e-9 relative, test-pinned; see DESIGN.md).
+#pragma once
+
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace oxmlc::oxram {
+
+struct DriftParams {
+  bool enabled = true;
+
+  // Fast post-program relaxation (per-event amplitude, sampled by
+  // sample_relaxation_amplitude at each program event).
+  double tau_fast = 1e-6;      // s; relaxation onset (after the pulse tail)
+  double nu_fast = 0.8;        // kernel exponent: mostly settled by ~1e3*tau
+  double relax_fraction = 0.015;  // median fractional depth relaxed as t->inf
+  double sigma_relax = 0.9;       // lognormal sigma of the per-event amplitude
+
+  // Slow retention drift (per-cell amplitude, sampled once per device by
+  // sample_drift_amplitude — the "activation" D2D quantity).
+  double tau_slow = 1.0;       // s
+  double nu_slow = 0.06;       // log-time slope: decades of t keep closing
+  double drift_fraction = 0.12;  // median fractional depth lost as t->inf
+  double sigma_drift_rel = 0.3;  // lognormal sigma of the per-cell amplitude
+
+  // Arrhenius acceleration of the slow component: time is scaled by
+  // exp(ea/k * (1/T_ref - 1/T_oper)); T_oper = T_ref means factor 1.
+  double ea_retention = 0.45;  // eV
+  double t_reference = 300.0;  // K; temperature the fractions are quoted at
+  double t_operating = 300.0;  // K; bake / operating temperature
+};
+
+// Saturating log-time kernel phi(t) = 1 - (1 + t/tau)^-nu; 0 for t <= 0.
+double drift_phi(double t, double tau, double nu);
+
+// Arrhenius time-acceleration factor of the slow component.
+double drift_acceleration(const DriftParams& p);
+
+// Scalar reference trajectory: gap `t` seconds after the anchor event.
+// `g_anchor` is the gap at the last program event, `g_min` the cell's LRS
+// floor, `relax_amp`/`drift_amp` the sampled fractional amplitudes.
+double drifted_gap(const DriftParams& p, double g_anchor, double g_min,
+                   double relax_amp, double drift_amp, double t);
+
+// Batched SoA kernel over parallel lanes:
+//   out[i] = drifted_gap(p, g_anchor[i], g_min[i], relax_amp[i], drift_amp[i], t[i])
+// All spans must have equal length; `out` may alias none of the inputs. The
+// loop hoists the per-call invariants (acceleration, reciprocal taus) and
+// evaluates the power-law kernels as exp(-nu * log1p(t/tau)), which agrees
+// with the scalar std::pow path to ~1 ulp — the batch-vs-scalar suite pins
+// the agreement at 1e-9 relative on a 4096-cell array.
+void drifted_gap_batch(const DriftParams& p, std::span<const double> g_anchor,
+                       std::span<const double> g_min, std::span<const double> relax_amp,
+                       std::span<const double> drift_amp, std::span<const double> t,
+                       std::span<double> out);
+
+// Per-program-event fast-relaxation amplitude: lognormal around
+// relax_fraction. One draw per call; 0 when drift is disabled.
+double sample_relaxation_amplitude(const DriftParams& p, Rng& rng);
+
+// Per-cell slow-drift amplitude: lognormal around drift_fraction. One draw
+// per call; 0 when drift is disabled.
+double sample_drift_amplitude(const DriftParams& p, Rng& rng);
+
+}  // namespace oxmlc::oxram

@@ -1,0 +1,141 @@
+// Reliability engine: time-dependent state evolution of a whole FastArray.
+//
+// The write path freezes each cell's gap the instant its termination
+// comparator fires; this subsystem owns everything that happens to that state
+// afterwards:
+//
+//   * retention/relaxation drift — the two-component log-time law of
+//     oxram/drift.hpp, advanced for the whole array through the batched SoA
+//     kernel (advance());
+//   * read disturb — every sense operation biases the cell at the read
+//     voltage in the SET polarity, nudging the gap toward LRS by the physics
+//     rate integrated over the sense duration (on_read() / apply_reads());
+//   * endurance — cycle counts per cell compress the switching window
+//     (g_min up, g_max down) log-linearly past an onset (EnduranceModel).
+//
+// The engine hangs off an existing array::FastArray and observes program
+// events via on_programmed(): the cell's current gap becomes the drift
+// anchor, a fresh per-event relaxation amplitude is drawn, wear is applied.
+// All stochastic amplitudes come from per-cell generators derived from
+// (config.seed, cell index) — deterministic regardless of access order, the
+// same contract as FastArray's variability streams.
+//
+// MemoryController::attach_reliability() wires program/read notifications
+// automatically and adds the relaxation-aware verify and scrub policies on
+// top (see mlc/controller.hpp). Cells mutated outside the engine's view
+// (manual set_gap) must be re-anchored with on_programmed() or the next
+// advance() will overwrite the manual state.
+//
+// Telemetry: reliability.* counters/timers in the oxmlc.metrics.v1 registry
+// (advances, lanes_advanced, reads_disturbed, program_events, advance_time).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/fast_array.hpp"
+#include "oxram/drift.hpp"
+#include "util/rng.hpp"
+
+namespace oxmlc::reliability {
+
+// Read disturb: one sense holds v_read across the stack for t_read. The
+// resulting gap reduction per read is tiny at nominal 0.3 V (that is the
+// point of a low read voltage); `accel` scales the effective stress time for
+// disturb-margin studies (equivalent to raising read count per notification).
+struct ReadDisturbModel {
+  bool enabled = true;
+  double t_read = 100e-9;  // s, one sense operation
+  double accel = 1.0;      // stress-time multiplier
+};
+
+// Endurance: window compression past an onset cycle count. The fractional
+// loss per decade is split between the two window edges,
+//   loss = min(max_window_loss, loss_per_decade * log10(cycles / onset)),
+// raising g_min by loss/2 * window and lowering g_max symmetrically — the
+// classic tail-bit signature where cycled cells can no longer reach the
+// deepest HRS levels nor the strongest LRS.
+struct EnduranceModel {
+  bool enabled = true;
+  double onset_cycles = 1e5;
+  double loss_per_decade = 0.05;  // fraction of the fresh window per decade
+  double max_window_loss = 0.5;
+};
+
+// The window compression applied to `fresh` after `cycles` program events.
+oxram::OxramParams worn_params(const oxram::OxramParams& fresh, const EnduranceModel& model,
+                               std::uint64_t cycles);
+
+struct ReliabilityConfig {
+  oxram::DriftParams drift;
+  ReadDisturbModel read_disturb;
+  EnduranceModel endurance;
+  std::uint64_t seed = 0x5EED5EEDULL;
+};
+
+class ReliabilityEngine {
+ public:
+  // Binds to `array` for the array's lifetime; the engine stores no cell
+  // physics of its own, only the evolution state (anchor gap, amplitudes,
+  // elapsed time, disturb offset, cycle/read counts) per cell.
+  ReliabilityEngine(array::FastArray& array, ReliabilityConfig config);
+
+  const ReliabilityConfig& config() const { return config_; }
+  array::FastArray& array() { return array_; }
+
+  // Program-event notification: re-anchors the drift trajectory at the
+  // cell's just-programmed gap, draws a fresh fast-relaxation amplitude
+  // (first call also draws the cell's slow-drift activation), bumps the
+  // cycle count and applies endurance wear to the cell's parameters.
+  void on_programmed(std::size_t row, std::size_t col);
+
+  // Read-disturb notification: integrates the gap ODE at the solved cell
+  // voltage of one sense (n senses for apply_reads) and folds the result
+  // into the cell state immediately.
+  void on_read(std::size_t row, std::size_t col, double v_read = 0.3, double v_wl = 2.5);
+  void apply_reads(std::size_t row, std::size_t col, std::size_t n, double v_read = 0.3,
+                   double v_wl = 2.5);
+
+  // Advances wall-clock time by dt for every cell and rewrites each
+  // programmed cell's gap from its drift trajectory (batched kernel) plus
+  // its accumulated disturb offset. Never-programmed cells are untouched.
+  void advance(double dt);
+
+  // Scalar reference for the state advance() writes into cell (row, col) at
+  // `t_since_anchor` seconds after its last program event — drifted_gap()
+  // plus the disturb offset, clamped to the cell's window. The batch-vs-
+  // scalar acceptance test pins advance() against this at 1e-9 relative.
+  double scalar_reference_gap(std::size_t row, std::size_t col, double t_since_anchor) const;
+
+  // Per-cell evolution state, exposed for tests and analysis tooling.
+  bool programmed(std::size_t row, std::size_t col) const;
+  double anchor_gap(std::size_t row, std::size_t col) const;
+  double elapsed_since_anchor(std::size_t row, std::size_t col) const;
+  double relax_amplitude(std::size_t row, std::size_t col) const;
+  double drift_amplitude(std::size_t row, std::size_t col) const;
+  double disturb_offset(std::size_t row, std::size_t col) const;
+  std::uint64_t cycles(std::size_t row, std::size_t col) const;
+  std::uint64_t reads(std::size_t row, std::size_t col) const;
+
+ private:
+  std::size_t index(std::size_t row, std::size_t col) const;
+
+  array::FastArray& array_;
+  ReliabilityConfig config_;
+
+  // SoA evolution state, one lane per cell (row-major, matching FastArray).
+  std::vector<double> anchor_gap_;
+  std::vector<double> g_min_;        // per-cell LRS floor, tracks wear
+  std::vector<double> t_elapsed_;    // s since the cell's last anchor event
+  std::vector<double> relax_amp_;    // per-event fast amplitude (0 until programmed)
+  std::vector<double> drift_amp_;    // per-cell slow amplitude (0 until programmed)
+  std::vector<double> disturb_offset_;  // accumulated read-disturb gap shift (<= 0)
+  std::vector<std::uint64_t> cycles_;
+  std::vector<std::uint64_t> reads_;
+  std::vector<std::uint8_t> programmed_;
+  std::vector<oxram::OxramParams> fresh_params_;  // pre-wear D2D parameters
+  std::vector<Rng> rngs_;            // per-cell amplitude streams
+  std::vector<double> scratch_;      // batch kernel output
+};
+
+}  // namespace oxmlc::reliability

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -60,8 +61,12 @@ double RunningStats::max() const {
 }
 
 double quantile(std::span<const double> sorted_values, double q) {
-  OXMLC_CHECK(!sorted_values.empty(), "quantile of empty sample");
   OXMLC_CHECK(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  if (sorted_values.empty()) {
+    // An empty sample has no quantiles; NaN propagates visibly through any
+    // downstream arithmetic where a throw would abort a whole sweep.
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   const std::size_t n = sorted_values.size();
   if (n == 1) return sorted_values[0];
   const double pos = q * static_cast<double>(n - 1);
@@ -81,7 +86,13 @@ std::vector<double> quantiles(std::span<const double> values, std::span<const do
 }
 
 BoxPlotSummary box_plot_summary(std::span<const double> values) {
-  OXMLC_CHECK(!values.empty(), "box_plot_summary of empty sample");
+  if (values.empty()) {
+    BoxPlotSummary s;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    s.minimum = s.q1 = s.median = s.q3 = s.maximum = nan;
+    s.whisker_low = s.whisker_high = s.mean = s.stddev = nan;
+    return s;
+  }
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
 
@@ -122,8 +133,7 @@ BoxPlotSummary box_plot_summary(std::span<const double> values) {
 }
 
 EmpiricalCdf empirical_cdf(std::span<const double> values) {
-  OXMLC_CHECK(!values.empty(), "empirical_cdf of empty sample");
-  EmpiricalCdf cdf;
+  EmpiricalCdf cdf;  // empty sample -> empty curve (nothing to plot, no UB)
   cdf.x.assign(values.begin(), values.end());
   std::sort(cdf.x.begin(), cdf.x.end());
   cdf.p.resize(cdf.x.size());

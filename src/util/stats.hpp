@@ -33,14 +33,18 @@ class RunningStats {
 };
 
 // Linear-interpolation quantile (type 7, the R/NumPy default).
-// `q` in [0,1]. Throws InvalidArgumentError on empty input.
+// `q` in [0,1] (out-of-range q throws InvalidArgumentError). Degenerate
+// samples degrade gracefully: empty input returns NaN, a single sample is
+// returned for every q.
 double quantile(std::span<const double> sorted_values, double q);
 
 // Convenience: copies, sorts and evaluates several quantiles at once.
 std::vector<double> quantiles(std::span<const double> values, std::span<const double> qs);
 
 // Five-number box-plot summary with Tukey whiskers (1.5 IQR) and outliers,
-// matching what a Fig. 11/13-style box plot displays.
+// matching what a Fig. 11/13-style box plot displays. An empty sample yields
+// count = 0 with every statistic NaN; a single sample collapses the box onto
+// that value (stddev 0, no outliers).
 struct BoxPlotSummary {
   std::size_t count = 0;
   double minimum = 0.0;
@@ -60,6 +64,7 @@ struct BoxPlotSummary {
 BoxPlotSummary box_plot_summary(std::span<const double> values);
 
 // Empirical CDF evaluated on the sample points: returns (sorted x, P(X<=x)).
+// An empty sample returns an empty curve.
 struct EmpiricalCdf {
   std::vector<double> x;
   std::vector<double> p;

@@ -258,7 +258,107 @@ TEST(Margins, ReportsPerPairStatistics) {
     EXPECT_GT(m.sigma_lower, 0.0);
     EXPECT_NEAR(m.nominal_spacing, 20e3, 1.0);
   }
-  EXPECT_THROW(analyze_margins({dists[0]}), InvalidArgumentError);
+}
+
+TEST(Margins, DegenerateLevelCountsYieldEmptyReports) {
+  // Fewer than two levels means no adjacent pair exists: a total function
+  // returning an empty report keeps retention sweeps over reduced
+  // allocations alive where a throw would abort the whole study.
+  const MarginReport empty = analyze_margins({});
+  EXPECT_TRUE(empty.margins.empty());
+  EXPECT_FALSE(empty.any_overlap);
+  EXPECT_TRUE(std::isnan(empty.minimal_nominal_spacing));
+  EXPECT_TRUE(std::isnan(empty.worst_case_margin));
+
+  const MarginReport single = analyze_margins({synthetic_level(0, 40e3, 1e3)});
+  EXPECT_TRUE(single.margins.empty());
+  EXPECT_FALSE(single.any_overlap);
+  EXPECT_TRUE(std::isnan(single.worst_case_margin));
+}
+
+TEST(Margins, FullyOverlappingDistributionsReportNegativeMargin) {
+  // Identical adjacent populations: the worst case margin must go negative
+  // and every decoded sample of the upper level is at risk.
+  std::vector<LevelDistribution> dists;
+  dists.push_back(synthetic_level(0, 45e3, 5e3));
+  dists.push_back(synthetic_level(1, 45e3, 5e3));
+  dists[1].level.r_nominal = 45e3;
+  const MarginReport report = analyze_margins(dists);
+  EXPECT_TRUE(report.any_overlap);
+  EXPECT_LT(report.worst_case_margin, 0.0);
+  EXPECT_NEAR(report.minimal_nominal_spacing, 0.0, 1e-9);
+}
+
+TEST(Margins, MidpointThresholdsAreGeometricMeans) {
+  LevelAllocation allocation;
+  allocation.bits = 2;
+  allocation.levels.resize(4);
+  for (std::size_t v = 0; v < 4; ++v) {
+    allocation.levels[v].value = v;
+    allocation.levels[v].r_nominal = 40e3 * std::pow(2.0, static_cast<double>(v));
+  }
+  const std::vector<double> thresholds = midpoint_thresholds(allocation);
+  ASSERT_EQ(thresholds.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(thresholds[k],
+                std::sqrt(allocation.levels[k].r_nominal * allocation.levels[k + 1].r_nominal),
+                1e-6);
+  }
+  // Degenerate allocations have no thresholds rather than throwing.
+  LevelAllocation one;
+  one.levels.resize(1);
+  one.levels[0].r_nominal = 40e3;
+  EXPECT_TRUE(midpoint_thresholds(one).empty());
+  EXPECT_TRUE(midpoint_thresholds(LevelAllocation{}).empty());
+}
+
+TEST(Margins, DecodeBerCountsThresholdCrossings) {
+  std::vector<LevelDistribution> dists;
+  dists.push_back(synthetic_level(0, 40e3, 1e3));
+  dists.push_back(synthetic_level(1, 80e3, 1e3));
+  const std::vector<double> thresholds = {56.6e3};
+  const BerReport clean = decode_ber(dists, thresholds);
+  EXPECT_EQ(clean.samples, 400u);
+  EXPECT_EQ(clean.errors, 0u);
+  EXPECT_DOUBLE_EQ(clean.ber, 0.0);
+
+  // Shift the threshold into the middle of level 1: its lower half decodes
+  // as level 0 while level 0 stays clean.
+  const std::vector<double> biased = {80e3};
+  const BerReport half = decode_ber(dists, biased);
+  EXPECT_GT(half.errors, 0u);
+  EXPECT_DOUBLE_EQ(half.per_level_error[0], 0.0);
+  EXPECT_GT(half.per_level_error[1], 0.3);
+  EXPECT_LT(half.per_level_error[1], 0.7);
+
+  EXPECT_THROW(decode_ber(dists, std::vector<double>{2.0, 1.0}), InvalidArgumentError);
+
+  const BerReport none = decode_ber({}, thresholds);
+  EXPECT_EQ(none.samples, 0u);
+  EXPECT_DOUBLE_EQ(none.ber, 0.0);
+}
+
+TEST(Margins, ZeroWidthIrefBandIsAnEmptyBandNotACrash) {
+  // Two levels calibrated to the same nominal resistance (a zero-width IrefR
+  // band) produce duplicated thresholds; every sample of the squeezed middle
+  // level then decodes elsewhere, which is the honest answer.
+  std::vector<LevelDistribution> dists;
+  dists.push_back(synthetic_level(0, 40e3, 0.5e3));
+  dists.push_back(synthetic_level(1, 50e3, 0.1e3));
+  dists.push_back(synthetic_level(2, 60e3, 0.5e3));
+  const std::vector<double> degenerate = {50e3, 50e3};
+  const BerReport report = decode_ber(dists, degenerate);
+  EXPECT_DOUBLE_EQ(report.per_level_error[1], 1.0);  // band 1 is empty
+  EXPECT_DOUBLE_EQ(report.per_level_error[0], 0.0);
+  EXPECT_DOUBLE_EQ(report.per_level_error[2], 0.0);
+
+  LevelAllocation allocation;
+  allocation.levels.resize(2);
+  allocation.levels[0].r_nominal = 50e3;
+  allocation.levels[1].r_nominal = 50e3;
+  const std::vector<double> thresholds = midpoint_thresholds(allocation);
+  ASSERT_EQ(thresholds.size(), 1u);
+  EXPECT_DOUBLE_EQ(thresholds[0], 50e3);
 }
 
 // ---------------------------------------------------------------------------

@@ -174,11 +174,60 @@ TEST(Stats, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(quantile(sorted, 0.25), 1.75);
 }
 
-TEST(Stats, QuantileRejectsBadInput) {
-  const std::vector<double> empty;
-  EXPECT_THROW(quantile(empty, 0.5), InvalidArgumentError);
+TEST(Stats, QuantileRejectsOutOfRangeLevel) {
   const std::vector<double> one = {1.0};
   EXPECT_THROW(quantile(one, 1.5), InvalidArgumentError);
+  EXPECT_THROW(quantile(one, -0.1), InvalidArgumentError);
+}
+
+TEST(Stats, QuantileDegradesGracefullyOnDegenerateSamples) {
+  const std::vector<double> empty;
+  EXPECT_TRUE(std::isnan(quantile(empty, 0.0)));
+  EXPECT_TRUE(std::isnan(quantile(empty, 0.5)));
+  EXPECT_TRUE(std::isnan(quantile(empty, 1.0)));
+  // A single sample is every quantile of itself.
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile(one, 0.37), 42.0);
+  EXPECT_DOUBLE_EQ(quantile(one, 1.0), 42.0);
+  // The batch helper inherits both behaviours.
+  const std::vector<double> qs = {0.25, 0.75};
+  const std::vector<double> from_empty = quantiles(empty, qs);
+  ASSERT_EQ(from_empty.size(), 2u);
+  EXPECT_TRUE(std::isnan(from_empty[0]));
+  EXPECT_TRUE(std::isnan(from_empty[1]));
+}
+
+TEST(Stats, BoxPlotSummaryHandlesEmptyAndSingleSample) {
+  const std::vector<double> empty;
+  const BoxPlotSummary none = box_plot_summary(empty);
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_TRUE(std::isnan(none.median));
+  EXPECT_TRUE(std::isnan(none.q1));
+  EXPECT_TRUE(std::isnan(none.q3));
+  EXPECT_TRUE(std::isnan(none.mean));
+  EXPECT_TRUE(std::isnan(none.stddev));
+  EXPECT_TRUE(none.outliers.empty());
+
+  const std::vector<double> one = {7.0};
+  const BoxPlotSummary single = box_plot_summary(one);
+  EXPECT_EQ(single.count, 1u);
+  EXPECT_DOUBLE_EQ(single.minimum, 7.0);
+  EXPECT_DOUBLE_EQ(single.q1, 7.0);
+  EXPECT_DOUBLE_EQ(single.median, 7.0);
+  EXPECT_DOUBLE_EQ(single.q3, 7.0);
+  EXPECT_DOUBLE_EQ(single.maximum, 7.0);
+  EXPECT_DOUBLE_EQ(single.whisker_low, 7.0);
+  EXPECT_DOUBLE_EQ(single.whisker_high, 7.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+  EXPECT_TRUE(single.outliers.empty());
+}
+
+TEST(Stats, EmpiricalCdfOfEmptySampleIsEmpty) {
+  const std::vector<double> empty;
+  const EmpiricalCdf cdf = empirical_cdf(empty);
+  EXPECT_TRUE(cdf.x.empty());
+  EXPECT_TRUE(cdf.p.empty());
 }
 
 TEST(Stats, BoxPlotSummaryIdentifiesOutliers) {

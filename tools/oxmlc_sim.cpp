@@ -6,6 +6,10 @@
 //             --csv waves.csv netlist.cir        selected probes + CSV dump
 //   oxmlc_sim --plot out --tran 5u netlist.cir   ASCII waveform of one node
 //   oxmlc_sim --qlc --trials 50 --metrics m.json QLC program run + telemetry
+//   oxmlc_sim --retention --bits 3 --trials 20
+//             --seed 7 --report r.json           retention sweep (drift + verify
+//                                                comparison + scrub demo) as
+//                                                oxmlc.retention.v1 JSON
 //   oxmlc_sim --lint netlist.cir                 static analysis only (no solve)
 //   oxmlc_sim --lint --json netlist.cir          ... as oxmlc.lint.v1 JSON
 //
@@ -25,7 +29,9 @@
 
 #include "array/write_path.hpp"
 #include "devices/sources.hpp"
+#include "mlc/controller.hpp"
 #include "mlc/mc_study.hpp"
+#include "mlc/retention.hpp"
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
 #include "spice/ac.hpp"
@@ -49,8 +55,12 @@ struct CliOptions {
   bool lint = false;
   bool json = false;
   bool qlc = false;
+  bool retention = false;
   std::size_t qlc_bits = 4;
   std::size_t qlc_trials = 50;
+  bool seed_set = false;
+  std::uint64_t seed = 0;
+  std::string report_path;
   double f_start = 1e3;
   double f_stop = 1e9;
   std::string ac_source;  // V source to excite with AC 1V
@@ -77,8 +87,13 @@ struct CliOptions {
                "  --json              --lint output as oxmlc.lint.v1 JSON\n"
                "  --qlc               QLC program run (no netlist): MC program of\n"
                "                      every level + one transistor-level terminated RST\n"
-               "  --bits <n>          QLC mode: bits per cell (default 4)\n"
-               "  --trials <n>        QLC mode: MC trials per level (default 50)\n"
+               "  --retention         retention sweep (no netlist): drift MC over decades\n"
+               "                      of time, verify-off vs relaxation-aware verify,\n"
+               "                      plus an array scrub demonstration\n"
+               "  --bits <n>          QLC/retention mode: bits per cell (default 4)\n"
+               "  --trials <n>        QLC/retention mode: MC trials per level (default 50)\n"
+               "  --seed <n>          QLC/retention mode: Monte-Carlo base seed\n"
+               "  --report <file>     retention mode: write the oxmlc.retention.v1 JSON\n"
                "  --metrics <file>    export solver/MC telemetry as JSON\n";
   std::exit(2);
 }
@@ -115,10 +130,17 @@ CliOptions parse_cli(int argc, char** argv) {
       options.json = true;
     } else if (arg == "--qlc") {
       options.qlc = true;
+    } else if (arg == "--retention") {
+      options.retention = true;
     } else if (arg == "--bits") {
       options.qlc_bits = std::strtoul(next().c_str(), nullptr, 10);
     } else if (arg == "--trials") {
       options.qlc_trials = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next().c_str(), nullptr, 10);
+      options.seed_set = true;
+    } else if (arg == "--report") {
+      options.report_path = next();
     } else if (arg == "-h" || arg == "--help") {
       usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -129,8 +151,10 @@ CliOptions parse_cli(int argc, char** argv) {
       usage("multiple netlist files given");
     }
   }
-  if (options.netlist_path.empty() && !options.qlc) usage("no netlist file given");
-  if (options.qlc) {
+  if (options.netlist_path.empty() && !options.qlc && !options.retention) {
+    usage("no netlist file given");
+  }
+  if (options.qlc || options.retention) {
     if (options.qlc_bits < 1 || options.qlc_bits > 6) usage("--bits must be in 1..6");
     if (options.qlc_trials < 1) usage("--trials must be positive");
   }
@@ -148,6 +172,7 @@ int run_qlc(const CliOptions& options) {
 
   mlc::McStudyConfig study =
       mlc::paper_mc_study(options.qlc_bits, options.qlc_trials);
+  if (options.seed_set) study.mc.seed = options.seed;
   const std::vector<mlc::LevelDistribution> levels = mlc::run_level_study(study);
 
   Table t({"level", "iref (uA)", "median R (kOhm)", "median latency (us)",
@@ -177,6 +202,105 @@ int run_qlc(const CliOptions& options) {
                     : "not terminated")
             << ", " << wp_result.transient.steps_accepted << " steps, "
             << wp_result.transient.newton_iterations << " Newton iterations\n";
+  return 0;
+}
+
+// Retention sweep: (1) the Monte-Carlo drift study of mlc/retention.hpp run
+// twice from the same seed — verify-off vs relaxation-aware verify — so the
+// recovered-window fraction is directly comparable; (2) an 8x8 array bake +
+// scrub demonstration driving MemoryController/ReliabilityEngine end-to-end
+// (this is what populates the reliability.cells_scrubbed counter the CI
+// smoke asserts). `--report` writes the whole thing as oxmlc.retention.v1.
+int run_retention(const CliOptions& options) {
+  const std::uint64_t seed = options.seed_set ? options.seed : mc::McOptions{}.seed;
+  std::cout << "Retention sweep: " << options.qlc_bits << " bits/cell, "
+            << options.qlc_trials << " trials/level, seed " << seed << "\n";
+
+  mlc::RetentionConfig config =
+      mlc::RetentionConfig::paper_default(options.qlc_bits, options.qlc_trials);
+  config.study.mc.seed = seed;
+  const mlc::RetentionComparison comparison = mlc::run_retention_comparison(config);
+
+  std::cout << "as-programmed worst-case dR: "
+            << format_scaled(comparison.verify_off.initial_margins.worst_case_margin, 1e3, 4)
+            << " kOhm\n";
+  Table t({"t (s)", "worst dR off (kOhm)", "BER off", "worst dR on (kOhm)", "BER on"});
+  for (std::size_t k = 0; k < comparison.verify_off.points.size(); ++k) {
+    const mlc::RetentionPoint& off = comparison.verify_off.points[k];
+    const mlc::RetentionPoint& on = comparison.verify_on.points[k];
+    t.add_row({format_si(off.t, "s", 3), format_scaled(off.margins.worst_case_margin, 1e3, 4),
+               format_scaled(off.ber.ber, 1.0, 4),
+               format_scaled(on.margins.worst_case_margin, 1e3, 4),
+               format_scaled(on.ber.ber, 1.0, 4)});
+  }
+  t.print(std::cout);
+  // Quote the recovery where the fast relaxation dominates the loss (~1 s);
+  // the slow retention component is a per-cell activation no verify filters,
+  // so the late decades converge toward the unverified branch again.
+  std::size_t fast_idx = comparison.verify_off.points.size() - 1;
+  for (std::size_t k = 0; k < comparison.verify_off.points.size(); ++k) {
+    if (comparison.verify_off.points[k].t <= 1.0 + 1e-12) fast_idx = k;
+  }
+  const double recovered = mlc::recovered_window_fraction(comparison, fast_idx);
+  std::cout << "verify re-programmed " << comparison.verify_on.verify_reprogrammed
+            << " cells (" << comparison.verify_on.verify_unrecovered
+            << " unrecovered); recovered fraction of relaxation-lost window at "
+            << format_si(comparison.verify_off.points[fast_idx].t, "s", 3) << ": "
+            << format_scaled(recovered, 1.0, 3) << "\n";
+
+  // Array-level bake + scrub demo on the paper's 8x8 test array.
+  array::FastArray grid(8, 8, config.study.nominal, config.study.variability,
+                        config.study.stack, seed ^ 0xA11A5EEDULL);
+  const mlc::QlcProgrammer programmer(config.study.qlc);
+  mlc::MemoryController controller(grid, programmer);
+  reliability::ReliabilityConfig rel;
+  rel.drift = config.drift;
+  rel.read_disturb = config.read_disturb;
+  rel.seed = seed ^ 0x0DD5EEDULL;
+  reliability::ReliabilityEngine engine(grid, rel);
+  mlc::VerifyPolicy verify;
+  verify.enabled = true;
+  verify.tau_relax = config.tau_relax;
+  verify.max_passes = config.verify_max_passes;
+  controller.attach_reliability(&engine, verify);
+  controller.form();
+  Rng pattern_rng(seed ^ 0x7A77E24ULL);
+  const std::size_t level_count = config.study.qlc.allocation.count();
+  for (std::size_t row = 0; row < grid.rows(); ++row) {
+    std::vector<std::size_t> levels(grid.cols());
+    for (std::size_t& level : levels) level = pattern_rng.uniform_index(level_count);
+    controller.write_word_levels(row, levels);
+  }
+  const double bake_s = 1e6;
+  engine.advance(bake_s);
+  const mlc::ScrubStats scrub = controller.scrub_all();
+  std::cout << "scrub demo (8x8, " << format_si(bake_s, "s", 3) << " bake): "
+            << scrub.cells_scrubbed << "/" << scrub.cells_checked
+            << " cells re-terminated, " << format_si(scrub.energy, "J", 3)
+            << " scrub energy\n";
+
+  if (!options.report_path.empty()) {
+    obs::Json report = mlc::to_json(comparison);
+    obs::Json fast = obs::Json::object();
+    fast.set("time_s", obs::Json(comparison.verify_off.points[fast_idx].t));
+    fast.set("recovered_fraction", obs::Json(recovered));
+    report.set("recovery_relaxation", std::move(fast));
+    obs::Json demo = obs::Json::object();
+    demo.set("rows", obs::Json(static_cast<double>(grid.rows())));
+    demo.set("cols", obs::Json(static_cast<double>(grid.cols())));
+    demo.set("bake_s", obs::Json(bake_s));
+    demo.set("cells_checked", obs::Json(static_cast<double>(scrub.cells_checked)));
+    demo.set("cells_scrubbed", obs::Json(static_cast<double>(scrub.cells_scrubbed)));
+    demo.set("scrub_energy_j", obs::Json(scrub.energy));
+    report.set("scrub_demo", std::move(demo));
+    std::ofstream out(options.report_path);
+    if (!out.good()) {
+      std::cerr << "cannot write report: " << options.report_path << "\n";
+      return 1;
+    }
+    out << report.dump(2) << "\n";
+    std::cout << "[report written: " << options.report_path << "]\n";
+  }
   return 0;
 }
 
@@ -359,6 +483,7 @@ int main(int argc, char** argv) {
       return status;
     };
 
+    if (options.retention) return finish(run_retention(options));
     if (options.qlc) return finish(run_qlc(options));
 
     std::ifstream file(options.netlist_path);
