@@ -18,6 +18,7 @@
 
 #include "bench_common.hpp"
 #include "mlc/levels.hpp"
+#include "numeric/simd.hpp"
 #include "obs/registry.hpp"
 #include "oxram/batch_kernel.hpp"
 #include "oxram/fast_cell.hpp"
@@ -26,16 +27,13 @@
 
 namespace {
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
-
 struct Sweep {
   std::size_t lanes = 0;
   double scalar_cps = 0.0;
-  double batch_cps = 0.0;
-  double speedup = 0.0;
+  double reference_cps = 0.0;  // batch engine forced to the scalar reference
+  double batch_cps = 0.0;      // dispatched engine (SIMD when available)
+  double speedup = 0.0;        // batch vs serial FastCell loop
+  double vector_speedup = 0.0;  // batch vs reference-engine batch
 };
 
 }  // namespace
@@ -92,60 +90,78 @@ int main(int argc, char** argv) {
     Sweep sweep;
     sweep.lanes = n;
 
+    const auto run_batch = [&](oxmlc::num::simd::Backend engine) {
+      std::vector<oxram::FastCell> cells = make_cells(n);
+      oxram::BatchRunOptions options;
+      options.engine = engine;
+      const auto start = bench::now();
+      oxram::CellBatch batch;
+      for (std::size_t i = 0; i < n; ++i) batch.add_set(cells[i], set_op);
+      batch.run(options);
+      batch.clear();
+      for (std::size_t i = 0; i < n; ++i) batch.add_reset(cells[i], reset_for(i));
+      batch.run(options);
+      return static_cast<double>(n) / bench::seconds_since(start);
+    };
+
     {
       std::vector<oxram::FastCell> cells = make_cells(n);
-      const auto start = std::chrono::steady_clock::now();
+      const auto start = bench::now();
       for (std::size_t i = 0; i < n; ++i) {
         cells[i].apply_set(set_op);
         cells[i].apply_reset(reset_for(i));
       }
-      sweep.scalar_cps = static_cast<double>(n) / seconds_since(start);
+      sweep.scalar_cps = static_cast<double>(n) / bench::seconds_since(start);
     }
-    {
-      std::vector<oxram::FastCell> cells = make_cells(n);
-      const auto start = std::chrono::steady_clock::now();
-      oxram::CellBatch batch;
-      for (std::size_t i = 0; i < n; ++i) batch.add_set(cells[i], set_op);
-      batch.run();
-      batch.clear();
-      for (std::size_t i = 0; i < n; ++i) batch.add_reset(cells[i], reset_for(i));
-      batch.run();
-      sweep.batch_cps = static_cast<double>(n) / seconds_since(start);
-    }
+    sweep.reference_cps = run_batch(oxmlc::num::simd::Backend::kReference);
+    sweep.batch_cps = run_batch(oxmlc::num::simd::Backend::kAuto);
     sweep.speedup = sweep.batch_cps / sweep.scalar_cps;
+    sweep.vector_speedup = sweep.batch_cps / sweep.reference_cps;
     sweeps.push_back(sweep);
   }
 
   const std::uint64_t lanes_retired =
       obs::registry().counter("batch.lanes_retired").value() - retired_before;
 
-  Table table({"cells", "scalar (cells/s)", "batch (cells/s)", "speedup"});
+  Table table({"cells", "scalar (cells/s)", "batch ref (cells/s)", "batch simd (cells/s)",
+               "vs scalar", "vs ref"});
   for (const Sweep& sweep : sweeps) {
     table.add_row({std::to_string(sweep.lanes), format_scaled(sweep.scalar_cps, 1.0, 0),
+                   format_scaled(sweep.reference_cps, 1.0, 0),
                    format_scaled(sweep.batch_cps, 1.0, 0),
-                   format_scaled(sweep.speedup, 1.0, 2) + "x"});
+                   format_scaled(sweep.speedup, 1.0, 2) + "x",
+                   format_scaled(sweep.vector_speedup, 1.0, 2) + "x"});
   }
   table.print(std::cout);
-  std::cout << "\n  lanes retired through termination masking: " << lanes_retired
+  std::cout << "\n  dispatched engine: "
+            << oxmlc::num::simd::backend_name(oxmlc::num::simd::active_backend())
+            << "\n  lanes retired through termination masking: " << lanes_retired
             << "\n";
 
-  Table csv({"cells", "scalar_cells_per_s", "batch_cells_per_s", "speedup"});
+  Table csv({"cells", "scalar_cells_per_s", "batch_reference_cells_per_s",
+             "batch_cells_per_s", "speedup", "vector_speedup"});
   for (const Sweep& sweep : sweeps) {
     csv.add_row({std::to_string(sweep.lanes), std::to_string(sweep.scalar_cps),
-                 std::to_string(sweep.batch_cps), std::to_string(sweep.speedup)});
+                 std::to_string(sweep.reference_cps), std::to_string(sweep.batch_cps),
+                 std::to_string(sweep.speedup), std::to_string(sweep.vector_speedup)});
   }
   bench::save_csv(csv, "batch_throughput.csv");
 
-  // Machine-readable summary for the CI throughput assertions.
+  // Machine-readable summary for the CI throughput assertions and the
+  // compare_bench.py perf gate.
   const std::string json_path = bench::csv_path("BENCH_batch.json");
   std::ofstream json(json_path);
-  json << "{\n  \"bench\": \"batch_throughput\",\n  \"lanes_retired\": "
-       << lanes_retired << ",\n  \"sweeps\": [\n";
+  json << "{\n  \"bench\": \"batch_throughput\",\n"
+       << bench::provenance_field() << ",\n  \"engine\": \""
+       << oxmlc::num::simd::backend_name(oxmlc::num::simd::active_backend())
+       << "\",\n  \"lanes_retired\": " << lanes_retired << ",\n  \"sweeps\": [\n";
   for (std::size_t k = 0; k < sweeps.size(); ++k) {
     json << "    {\"lanes\": " << sweeps[k].lanes
          << ", \"scalar_cells_per_s\": " << sweeps[k].scalar_cps
+         << ", \"batch_reference_cells_per_s\": " << sweeps[k].reference_cps
          << ", \"batch_cells_per_s\": " << sweeps[k].batch_cps
-         << ", \"speedup\": " << sweeps[k].speedup << "}"
+         << ", \"speedup\": " << sweeps[k].speedup
+         << ", \"vector_speedup\": " << sweeps[k].vector_speedup << "}"
          << (k + 1 < sweeps.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";

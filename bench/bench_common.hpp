@@ -10,6 +10,7 @@
 // in EXPERIMENTS.md.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -17,9 +18,30 @@
 
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
+#include "util/provenance.hpp"
 #include "util/table.hpp"
 
 namespace oxmlc::bench {
+
+// The one benchmark clock. steady_clock only: wall clocks
+// (system_clock/high_resolution_clock on some stdlibs) can step under NTP
+// adjustment mid-measurement, which turns into phantom throughput
+// regressions in the CI perf gate.
+inline std::chrono::steady_clock::time_point now() {
+  return std::chrono::steady_clock::now();
+}
+
+inline double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(now() - start).count();
+}
+
+// The `"provenance": {...}` member every BENCH_*.json must carry, so
+// scripts/compare_bench.py can tell a real regression from numbers measured
+// under a different compiler or flag set. `indent` is the member's leading
+// whitespace.
+inline std::string provenance_field(const std::string& indent = "  ") {
+  return indent + "\"provenance\": " + util::provenance_json();
+}
 
 inline void print_header(const std::string& experiment_id, const std::string& title,
                          const std::string& paper_summary) {

@@ -20,13 +20,7 @@
 #include "oxram/drift.hpp"
 #include "util/rng.hpp"
 
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
-
-}  // namespace
+using oxmlc::bench::seconds_since;
 
 int main(int argc, char** argv) {
   using namespace oxmlc;
@@ -61,7 +55,7 @@ int main(int argc, char** argv) {
     Sweep sweep;
     sweep.lanes = n;
     {
-      const auto start = std::chrono::steady_clock::now();
+      const auto start = oxmlc::bench::now();
       double sink = 0.0;
       for (std::size_t r = 0; r < reps; ++r) {
         for (std::size_t i = 0; i < n; ++i) {
@@ -72,7 +66,7 @@ int main(int argc, char** argv) {
       if (sink == 0.0) std::cout << "";  // keep the scalar loop observable
     }
     {
-      const auto start = std::chrono::steady_clock::now();
+      const auto start = oxmlc::bench::now();
       for (std::size_t r = 0; r < reps; ++r) {
         oxram::drifted_gap_batch(params, anchor, g_min, relax, drift, t, out);
       }

@@ -3,19 +3,20 @@
 // Each trial receives its own Rng derived from (seed, trial index) alone, so
 // results are bit-identical regardless of thread count or scheduling — the
 // property that makes the EXPERIMENTS.md numbers reproducible.
+//
+// Scheduling is delegated to util::parallel_for (the repo's one shared
+// chunk-claiming pool); this layer adds the trial-Rng derivation and the mc.*
+// telemetry on top of it.
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "util/parallel_for.hpp"
 #include "util/rng.hpp"
 
 namespace oxmlc::mc {
@@ -40,14 +41,6 @@ struct RunnerMetrics {
     return metrics;
   }
 };
-
-// Trials claimed per atomic fetch. Aim for ~8 chunks per worker: large enough
-// that a per-trial context (circuit + solver workspace) is reused across many
-// trials and the claim counter stays cold, small enough that a straggler chunk
-// cannot idle the rest of the pool.
-inline std::size_t claim_chunk(std::size_t trials, std::size_t threads) {
-  return std::max<std::size_t>(1, trials / (threads * 8));
-}
 
 // Placeholder context for the context-free run_trials overload.
 struct NoContext {};
@@ -82,9 +75,7 @@ std::vector<Sample> run_trials(
     const McOptions& options, const std::function<Context()>& make_context,
     const std::function<Sample(std::size_t, Rng&, Context&)>& trial) {
   std::vector<Sample> samples(options.trials);
-  std::size_t threads = options.threads ? options.threads
-                                        : std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<std::size_t>(threads, options.trials ? options.trials : 1);
+  const std::size_t threads = util::resolve_threads(options.threads, options.trials);
 
   detail::RunnerMetrics& metrics = detail::RunnerMetrics::get();
   metrics.runs.add();
@@ -93,61 +84,23 @@ std::vector<Sample> run_trials(
   const auto run_start = std::chrono::steady_clock::now();
   obs::ScopedTimer run_timer(metrics.run_time);
 
-  const auto timed_trial = [&](std::size_t i, Rng& rng, Context& context) {
-    obs::ScopedTimer trial_timer(metrics.trial_time);
-    return trial(i, rng, context);
-  };
-
-  if (threads <= 1) {
-    Context context = make_context();
-    for (std::size_t i = 0; i < options.trials; ++i) {
-      Rng rng = trial_rng(options.seed, i);
-      try {
-        samples[i] = timed_trial(i, rng, context);
-      } catch (...) {
-        metrics.trial_failures.add();
-        throw;
-      }
-    }
-  } else {
-    const std::size_t chunk = detail::claim_chunk(options.trials, threads);
-    std::atomic<std::size_t> cursor{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-
-    const auto record_failure = [&] {
-      metrics.trial_failures.add();
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-      failed.store(true, std::memory_order_release);
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        try {
-          Context context = make_context();
-          while (!failed.load(std::memory_order_acquire)) {
-            const std::size_t begin =
-                cursor.fetch_add(chunk, std::memory_order_relaxed);
-            if (begin >= options.trials) break;
-            metrics.chunks_claimed.add();
-            const std::size_t end = std::min(begin + chunk, options.trials);
-            for (std::size_t i = begin; i < end; ++i) {
-              Rng rng = trial_rng(options.seed, i);
-              samples[i] = timed_trial(i, rng, context);
-            }
+  util::ParallelForOptions pool;
+  pool.threads = threads;
+  util::parallel_for<Context>(
+      options.trials, pool, make_context,
+      [&](std::size_t begin, std::size_t end, Context& context) {
+        metrics.chunks_claimed.add();
+        for (std::size_t i = begin; i < end; ++i) {
+          Rng rng = trial_rng(options.seed, i);
+          obs::ScopedTimer trial_timer(metrics.trial_time);
+          try {
+            samples[i] = trial(i, rng, context);
+          } catch (...) {
+            metrics.trial_failures.add();
+            throw;
           }
-        } catch (...) {
-          record_failure();
         }
       });
-    }
-    for (auto& worker : pool) worker.join();
-    if (first_error) std::rethrow_exception(first_error);
-  }
 
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)

@@ -6,6 +6,8 @@
 #include "obs/registry.hpp"
 #include "oxram/model.hpp"
 #include "util/error.hpp"
+#include "util/parallel_for.hpp"
+#include "util/provenance.hpp"
 
 namespace oxmlc::mlc {
 namespace {
@@ -156,17 +158,32 @@ RetentionReport run_retention_study(const RetentionConfig& config) {
     report.points[k].levels.resize(n_levels);
   }
 
+  // One flat (level × trial) index space instead of n_levels sequential MC
+  // runs, so every trial across every level can be claimed by the same pool.
+  // Each trial's Rng still derives from (study_level_seed(seed, level), trial)
+  // exactly as the per-level mc::run_trials call did, so samples stay
+  // bit-identical to the sequential sweep for any thread count.
+  const std::size_t trials = config.study.mc.trials;
+  const std::size_t total = n_levels * trials;
+  std::vector<TrialSample> samples(total);
+  util::ParallelForOptions pool;
+  pool.threads = config.study.mc.threads;
+  util::parallel_for(total, pool, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t level = i / trials;
+      Rng rng = mc::trial_rng(study_level_seed(config.study.mc.seed, level), i % trials);
+      samples[i] = run_trial(config, programmer, level, rng);
+    }
+  });
+  metrics.trials.add(total);
+
   for (std::size_t level = 0; level < n_levels; ++level) {
-    mc::McOptions options = config.study.mc;
-    options.seed = study_level_seed(config.study.mc.seed, level);
-    const std::function<TrialSample(std::size_t, Rng&)> trial =
-        [&](std::size_t, Rng& rng) { return run_trial(config, programmer, level, rng); };
-    const std::vector<TrialSample> samples = mc::run_trials<TrialSample>(options, trial);
-    metrics.trials.add(samples.size());
+    const TrialSample* level_samples = samples.data() + level * trials;
 
     LevelDistribution& dist0 = initial[level];
     dist0.level = config.study.qlc.allocation.levels[level];
-    for (const TrialSample& sample : samples) {
+    for (std::size_t t = 0; t < trials; ++t) {
+      const TrialSample& sample = level_samples[t];
       dist0.resistance.push_back(sample.r_initial);
       dist0.energy.push_back(sample.energy);
       dist0.latency.push_back(sample.latency);
@@ -176,8 +193,9 @@ RetentionReport run_retention_study(const RetentionConfig& config) {
     for (std::size_t k = 0; k < config.times.size(); ++k) {
       LevelDistribution& dist = report.points[k].levels[level];
       dist.level = config.study.qlc.allocation.levels[level];
-      dist.resistance.reserve(samples.size());
-      for (const TrialSample& sample : samples) {
+      dist.resistance.reserve(trials);
+      for (std::size_t t = 0; t < trials; ++t) {
+        const TrialSample& sample = level_samples[t];
         dist.resistance.push_back(sample.r_at_time[k]);
         dist.energy.push_back(sample.energy);
         dist.latency.push_back(sample.latency);
@@ -276,6 +294,14 @@ obs::Json to_json(const RetentionComparison& comparison) {
   obs::Json root = obs::Json::object();
   root.set("schema", obs::Json(kRetentionSchema));
   root.set("mode", obs::Json("comparison"));
+  // Same provenance block as every BENCH_*.json (bench_common.hpp): the CI
+  // perf gate refuses to compare artifacts from mismatched builds.
+  obs::Json provenance = obs::Json::object();
+  provenance.set("git_sha", obs::Json(util::build_git_sha()));
+  provenance.set("compiler", obs::Json(util::build_compiler()));
+  provenance.set("flags", obs::Json(util::build_flags()));
+  provenance.set("build_type", obs::Json(util::build_type()));
+  root.set("provenance", std::move(provenance));
   root.set("verify_off", to_json(comparison.verify_off));
   root.set("verify_on", to_json(comparison.verify_on));
 

@@ -1,11 +1,13 @@
 #include "oxram/batch_kernel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <numeric>
 
 #include "obs/registry.hpp"
 #include "util/error.hpp"
+#include "util/parallel_for.hpp"
 
 namespace oxmlc::oxram {
 namespace {
@@ -53,6 +55,7 @@ std::size_t CellBatch::add_lane(FastCell& cell, const PulseShape& pulse,
 
   gap_.push_back(cell.gap());
   warm_i_.push_back(0.0);
+  warm_v_.push_back(0.0);
   rate_factor_.push_back(cell.rate_factor());
   params_.push_back(cell.params());
   StackConfig stack = cell.stack();
@@ -91,17 +94,79 @@ double CellBatch::drive_value(const LaneControl& lane, double t) const {
   return lane.ramp_from * (1.0 - into / lane.pulse.fall);
 }
 
-bool CellBatch::step_lane(std::size_t lane) {
+void CellBatch::finalize_lane(std::size_t lane) {
+  LaneControl& c = control_[lane];
+  OperationResult& result = results_[lane];
+  result.t_end = c.t_end;
+  if (!result.terminated) result.t_terminate = c.natural_end;
+  result.final_gap = gap_[lane];
+  cells_[lane]->set_gap(gap_[lane]);
+  cells_[lane]->set_virgin(c.virgin);
+}
+
+void CellBatch::update_sample(std::size_t lane, double v_d, double current,
+                              double v_cell) {
   LaneControl& c = control_[lane];
   OperationResult& result = results_[lane];
 
+  // Trapezoidal energy accumulation.
+  if (!c.first_sample) {
+    const double dt_seg = c.t - c.prev_t;
+    result.energy_source += 0.5 * (c.prev_p_src + v_d * current) * dt_seg;
+    result.energy_cell += 0.5 * (c.prev_p_cell + v_cell * current) * dt_seg;
+  }
+  c.prev_p_src = v_d * current;
+  c.prev_p_cell = v_cell * current;
+
+  // Termination detection (plateau only, falling crossing or already-below).
+  if (c.iref >= 0.0 && !result.terminated && c.t >= c.pulse.rise && c.ramp_start < 0.0) {
+    if (current <= c.iref) {
+      // Linear interpolation to the crossing inside the last step.
+      double t_cross = c.t;
+      if (!c.first_sample && c.prev_i > c.iref) {
+        t_cross = c.prev_t +
+                  (c.t - c.prev_t) * (c.prev_i - c.iref) / (c.prev_i - current);
+      }
+      result.terminated = true;
+      result.t_terminate = t_cross;
+      c.ramp_start = t_cross + c.termination_delay;
+      c.ramp_from = drive_value(c, c.ramp_start);
+      c.t_end = std::min(c.t_end, c.ramp_start + c.pulse.fall);
+    }
+  }
+  c.prev_i = current;
+  c.prev_t = c.t;
+  c.first_sample = false;
+}
+
+CellBatch::StepPolicy CellBatch::step_policy(const LaneControl& c,
+                                             const OperationResult& result,
+                                             double current) const {
+  // Near the termination crossing the step is refined so the gap moves only a
+  // sliver of g0 per step (identical policy to FastCell::run_pulse).
+  StepPolicy policy{0.1, c.dt_max};
+  if (c.iref >= 0.0 && !result.terminated && current > 0.0 && current < 2.0 * c.iref) {
+    policy.gap_fraction = 0.004;
+    policy.dt_cap = std::min(policy.dt_cap, 5e-9);
+  }
+  return policy;
+}
+
+double CellBatch::apply_corners(const LaneControl& c, double dt) const {
+  // Land on waveform corners so the plateau entry/exit are resolved.
+  for (double corner : {c.pulse.rise, c.pulse.rise + c.pulse.width, c.ramp_start,
+                        c.ramp_start >= 0.0 ? c.ramp_start + c.pulse.fall : -1.0,
+                        c.t_end}) {
+    if (corner > c.t + 1e-15 && corner < c.t + dt) dt = corner - c.t;
+  }
+  return std::max(dt, 1e-13);
+}
+
+bool CellBatch::step_lane(std::size_t lane) {
+  LaneControl& c = control_[lane];
+
   if (!(c.t < c.t_end - 1e-15)) {
-    // Pulse complete: finalize the result and write the state back.
-    result.t_end = c.t_end;
-    if (!result.terminated) result.t_terminate = c.natural_end;
-    result.final_gap = gap_[lane];
-    cells_[lane]->set_gap(gap_[lane]);
-    cells_[lane]->set_virgin(c.virgin);
+    finalize_lane(lane);
     return false;
   }
 
@@ -114,51 +179,14 @@ bool CellBatch::step_lane(std::size_t lane) {
   const double sign = c.polarity == Polarity::kReset ? -1.0 : 1.0;
   const double v_cell_signed = sign * sp.v_cell;
 
-  // Trapezoidal energy accumulation.
-  if (!c.first_sample) {
-    const double dt_seg = c.t - c.prev_t;
-    result.energy_source += 0.5 * (c.prev_p_src + v_d * sp.current) * dt_seg;
-    result.energy_cell += 0.5 * (c.prev_p_cell + sp.v_cell * sp.current) * dt_seg;
-  }
-  c.prev_p_src = v_d * sp.current;
-  c.prev_p_cell = sp.v_cell * sp.current;
-
-  // Termination detection (plateau only, falling crossing or already-below).
-  if (c.iref >= 0.0 && !result.terminated && c.t >= c.pulse.rise && c.ramp_start < 0.0) {
-    if (sp.current <= c.iref) {
-      // Linear interpolation to the crossing inside the last step.
-      double t_cross = c.t;
-      if (!c.first_sample && c.prev_i > c.iref) {
-        t_cross = c.prev_t +
-                  (c.t - c.prev_t) * (c.prev_i - c.iref) / (c.prev_i - sp.current);
-      }
-      result.terminated = true;
-      result.t_terminate = t_cross;
-      c.ramp_start = t_cross + c.termination_delay;
-      c.ramp_from = drive_value(c, c.ramp_start);
-      c.t_end = std::min(c.t_end, c.ramp_start + c.pulse.fall);
-    }
-  }
-  c.prev_i = sp.current;
-  c.prev_t = c.t;
-  c.first_sample = false;
+  update_sample(lane, v_d, sp.current, sp.v_cell);
 
   // --- choose the next step (identical policy to FastCell::run_pulse) ---
-  double gap_fraction = 0.1;
-  double dt_cap = c.dt_max;
-  if (c.iref >= 0.0 && !result.terminated && sp.current > 0.0 &&
-      sp.current < 2.0 * c.iref) {
-    gap_fraction = 0.004;
-    dt_cap = std::min(dt_cap, 5e-9);
-  }
-  double dt = std::min(dt_cap, recommended_dt(p, v_cell_signed, gap_[lane], c.virgin,
-                                              rate_factor_[lane], gap_fraction));
-  for (double corner : {c.pulse.rise, c.pulse.rise + c.pulse.width, c.ramp_start,
-                        c.ramp_start >= 0.0 ? c.ramp_start + c.pulse.fall : -1.0,
-                        c.t_end}) {
-    if (corner > c.t + 1e-15 && corner < c.t + dt) dt = corner - c.t;
-  }
-  dt = std::max(dt, 1e-13);
+  const StepPolicy policy = step_policy(c, results_[lane], sp.current);
+  double dt = std::min(policy.dt_cap,
+                       recommended_dt(p, v_cell_signed, gap_[lane], c.virgin,
+                                      rate_factor_[lane], policy.gap_fraction));
+  dt = apply_corners(c, dt);
 
   gap_[lane] =
       advance_gap(p, v_cell_signed, gap_[lane], c.virgin, dt, rate_factor_[lane]);
@@ -167,7 +195,38 @@ bool CellBatch::step_lane(std::size_t lane) {
   return true;
 }
 
-std::vector<OperationResult> CellBatch::run() {
+std::uint64_t CellBatch::run_span(std::size_t begin, std::size_t end,
+                                  num::simd::Backend engine) {
+  if (engine != num::simd::Backend::kReference) {
+    return run_span_simd(begin, end, engine);
+  }
+  BatchMetrics& metrics = BatchMetrics::get();
+
+  // Active-lane compaction: each round visits only the lanes still
+  // programming; a completed lane retires in place and is never visited
+  // again, so late rounds iterate only the stragglers (the deep levels).
+  std::vector<std::size_t> active(end - begin);
+  std::iota(active.begin(), active.end(), begin);
+  std::uint64_t steps = 0;
+  std::uint64_t retired = 0;
+  while (!active.empty()) {
+    std::size_t kept = 0;
+    for (const std::size_t lane : active) {
+      if (step_lane(lane)) {
+        active[kept++] = lane;
+        ++steps;
+      } else {
+        ++retired;
+      }
+    }
+    active.resize(kept);
+    metrics.lanes_active.set(static_cast<double>(kept));
+  }
+  metrics.lanes_retired.add(retired);
+  return steps;
+}
+
+std::vector<OperationResult> CellBatch::run(const BatchRunOptions& options) {
   BatchMetrics& metrics = BatchMetrics::get();
   metrics.runs.add();
   metrics.lanes.add(size());
@@ -177,26 +236,20 @@ std::vector<OperationResult> CellBatch::run() {
   results_.assign(size(), OperationResult{});
   for (std::size_t lane = 0; lane < size(); ++lane) results_[lane].final_gap = gap_[lane];
 
-  // Active-lane compaction: each round visits only the lanes still
-  // programming; a completed lane retires in place and is never visited
-  // again, so late rounds iterate only the stragglers (the deep levels).
-  std::vector<std::size_t> active(size());
-  std::iota(active.begin(), active.end(), std::size_t{0});
-  std::uint64_t steps = 0;
-  while (!active.empty()) {
-    std::size_t kept = 0;
-    for (const std::size_t lane : active) {
-      if (step_lane(lane)) {
-        active[kept++] = lane;
-        ++steps;
-      } else {
-        metrics.lanes_retired.add();
-      }
-    }
-    active.resize(kept);
-    metrics.lanes_active.set(static_cast<double>(kept));
-  }
-  metrics.steps.add(steps);
+  const num::simd::Backend engine = options.engine == num::simd::Backend::kAuto
+                                        ? num::simd::active_backend()
+                                        : options.engine;
+  if (engine != num::simd::Backend::kReference) prepare_scratch();
+
+  // Lanes touch disjoint state, so sharding them over the pool is
+  // bit-identical to the serial sweep for any thread count or chunking.
+  std::atomic<std::uint64_t> steps{0};
+  util::ParallelForOptions pool;
+  pool.threads = options.threads;
+  util::parallel_for(size(), pool, [&](std::size_t begin, std::size_t end) {
+    steps.fetch_add(run_span(begin, end, engine), std::memory_order_relaxed);
+  });
+  metrics.steps.add(steps.load(std::memory_order_relaxed));
 
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -209,6 +262,7 @@ std::vector<OperationResult> CellBatch::run() {
 void CellBatch::clear() {
   gap_.clear();
   warm_i_.clear();
+  warm_v_.clear();
   rate_factor_.clear();
   params_.clear();
   stacks_.clear();

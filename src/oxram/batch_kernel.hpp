@@ -32,10 +32,23 @@
 #include <cstddef>
 #include <vector>
 
+#include "numeric/simd.hpp"
 #include "oxram/fast_cell.hpp"
 #include "spice/waveform.hpp"
 
 namespace oxmlc::oxram {
+
+// Execution knobs for CellBatch::run(). Neither knob may change results:
+// lanes are independent, so sharding them across threads is bit-identical to
+// the serial sweep, and the SIMD engine is pinned against the scalar
+// reference by the batch equivalence suite.
+struct BatchRunOptions {
+  // kAuto resolves via num::simd::active_backend() (OXMLC_SIMD env /
+  // override); kReference forces the scalar step_lane path.
+  num::simd::Backend engine = num::simd::Backend::kAuto;
+  // Lane shards claimed through util::parallel_for; 0 = hardware_concurrency.
+  std::size_t threads = 1;
+};
 
 class CellBatch {
  public:
@@ -56,7 +69,8 @@ class CellBatch {
   // Advances every lane to completion and returns per-lane results indexed
   // by lane id. One-shot: call clear() before reusing the batch (capacity is
   // retained across clear()).
-  std::vector<OperationResult> run();
+  std::vector<OperationResult> run() { return run(BatchRunOptions{}); }
+  std::vector<OperationResult> run(const BatchRunOptions& options);
 
   void clear();
 
@@ -95,13 +109,60 @@ class CellBatch {
   // complete (the lane is finalized and its cell state written back).
   bool step_lane(std::size_t lane);
 
-  // Hot SoA state, indexed by lane id. gap_ and warm_i_ are read and written
-  // every step; params_/stacks_/rate_factor_ are read-only during run().
+  // Pieces of the per-step control flow shared verbatim between the scalar
+  // step_lane path and the SIMD engine (batch_simd.cpp): result finalization,
+  // the energy/termination sample bookkeeping, the near-termination step
+  // refinement, and the waveform-corner snapping.
+  void finalize_lane(std::size_t lane);
+  void update_sample(std::size_t lane, double v_d, double current, double v_cell);
+  struct StepPolicy {
+    double gap_fraction;
+    double dt_cap;
+  };
+  StepPolicy step_policy(const LaneControl& c, const OperationResult& result,
+                         double current) const;
+  double apply_corners(const LaneControl& c, double dt) const;
+
+  // Runs one shard of lanes [begin, end) to completion with its own
+  // active-lane compaction loop; returns the total steps taken. Shards touch
+  // disjoint lane state, so any sharding yields bit-identical results.
+  std::uint64_t run_span(std::size_t begin, std::size_t end,
+                         num::simd::Backend engine);
+
+  // SIMD engine (batch_simd.cpp): lanes advance four at a time through a
+  // v_cell-primal masked Newton stack solve and pack gap integration. All
+  // lane updates are masked element-wise, so results are bitwise independent
+  // of how lanes happen to group into packs — and therefore of sharding.
+  std::uint64_t run_span_simd(std::size_t begin, std::size_t end,
+                              num::simd::Backend engine);
+  template <typename Pack>
+  std::uint64_t run_span_vector(std::size_t begin, std::size_t end);
+  template <typename Pack>
+  void step_pack(const std::size_t* lanes, std::size_t count);
+
+  // Flattened per-lane parameter arrays the pack engine gathers from (filled
+  // by prepare_scratch() at run() start when a SIMD engine is selected;
+  // read-only during the run).
+  struct VecScratch {
+    std::vector<double> i0, g0, v0, r_leak, g_min, g_max, g_ref, k0, ea_ox, ea_red,
+        dea_form, axi, bxi, t_ambient, r_th, t_max_rise, g_upper_virgin, r_series,
+        v_wl, acc_vt0, acc_beta, acc_lambda, mir_vt0, mir_beta, is_reset, is_mirror,
+        sign;
+  };
+  void prepare_scratch();
+
+  // Hot SoA state, indexed by lane id. gap_, warm_i_ and warm_v_ are read and
+  // written every step; params_/stacks_/rate_factor_ are read-only during
+  // run(). warm_v_ is the previous step's cell voltage — the SIMD engine's
+  // Newton seed; <= 0 means "no warm point" (cold lane or zero-op last step)
+  // and routes the lane through the scalar solver for that step.
   std::vector<double> gap_;
   std::vector<double> warm_i_;
+  std::vector<double> warm_v_;
   std::vector<double> rate_factor_;
   std::vector<OxramParams> params_;
   std::vector<StackConfig> stacks_;
+  VecScratch scratch_;
 
   std::vector<LaneControl> control_;
   std::vector<FastCell*> cells_;

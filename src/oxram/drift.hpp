@@ -93,10 +93,22 @@ double drifted_gap(const DriftParams& p, double g_anchor, double g_min,
 // evaluates the power-law kernels as exp(-nu * log1p(t/tau)), which agrees
 // with the scalar std::pow path to ~1 ulp — the batch-vs-scalar suite pins
 // the agreement at 1e-9 relative on a 4096-cell array.
+//
+// Dispatches on num::simd::active_backend(): the AVX2 and portable pack
+// kernels are bitwise-identical to each other (same IEEE op sequence), and
+// OXMLC_SIMD=off routes to drifted_gap_batch_reference.
 void drifted_gap_batch(const DriftParams& p, std::span<const double> g_anchor,
                        std::span<const double> g_min, std::span<const double> relax_amp,
                        std::span<const double> drift_amp, std::span<const double> t,
                        std::span<double> out);
+
+// The original scalar-libm SoA loop, kept as the 1e-9-pinned reference the
+// pack kernels are tested against (and the OXMLC_SIMD=off execution path).
+void drifted_gap_batch_reference(const DriftParams& p, std::span<const double> g_anchor,
+                                 std::span<const double> g_min,
+                                 std::span<const double> relax_amp,
+                                 std::span<const double> drift_amp,
+                                 std::span<const double> t, std::span<double> out);
 
 // Per-program-event fast-relaxation amplitude: lognormal around
 // relax_fraction. One draw per call; 0 when drift is disabled.

@@ -162,7 +162,12 @@ double voltage_for_current(const OxramParams& p, double i_target, double g, doub
 
 double recommended_dt(const OxramParams& p, double v, double g, bool virgin,
                       double rate_factor, double max_fraction) {
-  const double rate = gap_rate(p, v, g, virgin, rate_factor);
+  return recommended_dt_given_rate(p, g, virgin, gap_rate(p, v, g, virgin, rate_factor),
+                                   max_fraction);
+}
+
+double recommended_dt_given_rate(const OxramParams& p, double g, bool virgin, double rate,
+                                 double max_fraction) {
   if (rate == 0.0) return std::numeric_limits<double>::infinity();
   // A rate pushing into a bound the gap already sits on cannot move the
   // state: no step-size constraint (otherwise a fully-SET cell held at bias

@@ -47,4 +47,10 @@ double voltage_for_current(const OxramParams& p, double i_target, double g,
 double recommended_dt(const OxramParams& p, double v, double g, bool virgin,
                       double rate_factor, double max_fraction = 0.1);
 
+// The bound-awareness half of recommended_dt for callers that already hold
+// the gap rate at (v, g) — the SIMD batch engine evaluates rates four lanes
+// at a time and finishes the per-lane policy through this split.
+double recommended_dt_given_rate(const OxramParams& p, double g, bool virgin,
+                                 double rate, double max_fraction);
+
 }  // namespace oxmlc::oxram

@@ -1,0 +1,31 @@
+#include "util/parallel_for.hpp"
+
+#include <algorithm>
+
+namespace oxmlc::util {
+
+std::size_t resolve_threads(std::size_t requested, std::size_t items) {
+  std::size_t threads =
+      requested != 0 ? requested
+                     : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, items != 0 ? items : std::size_t{1});
+  return std::max<std::size_t>(1, threads);
+}
+
+std::size_t resolve_chunk(std::size_t requested, std::size_t items, std::size_t threads) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, items / (threads * 8));
+}
+
+namespace {
+struct NoContext {};
+}  // namespace
+
+void parallel_for(std::size_t n, const ParallelForOptions& options,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for<NoContext>(
+      n, options, [] { return NoContext{}; },
+      [&body](std::size_t begin, std::size_t end, NoContext&) { body(begin, end); });
+}
+
+}  // namespace oxmlc::util

@@ -1,0 +1,61 @@
+#include "util/provenance.hpp"
+
+namespace oxmlc::util {
+namespace {
+
+#ifndef OXMLC_BUILD_GIT_SHA
+#define OXMLC_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef OXMLC_BUILD_COMPILER
+#define OXMLC_BUILD_COMPILER "unknown"
+#endif
+#ifndef OXMLC_BUILD_FLAGS
+#define OXMLC_BUILD_FLAGS ""
+#endif
+#ifndef OXMLC_BUILD_TYPE
+#define OXMLC_BUILD_TYPE ""
+#endif
+
+// Flags come straight out of CMake variables; escape the characters that can
+// legally appear there (quotes in -D definitions, backslashes on exotic
+// toolchains) so the emitted JSON stays parseable.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string& build_git_sha() {
+  static const std::string sha = OXMLC_BUILD_GIT_SHA;
+  return sha;
+}
+
+const std::string& build_compiler() {
+  static const std::string compiler = OXMLC_BUILD_COMPILER;
+  return compiler;
+}
+
+const std::string& build_flags() {
+  static const std::string flags = OXMLC_BUILD_FLAGS;
+  return flags;
+}
+
+const std::string& build_type() {
+  static const std::string type = OXMLC_BUILD_TYPE;
+  return type;
+}
+
+std::string provenance_json() {
+  return "{\"git_sha\": \"" + json_escape(build_git_sha()) + "\", \"compiler\": \"" +
+         json_escape(build_compiler()) + "\", \"flags\": \"" +
+         json_escape(build_flags()) + "\", \"build_type\": \"" +
+         json_escape(build_type()) + "\"}";
+}
+
+}  // namespace oxmlc::util

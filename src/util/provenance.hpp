@@ -1,0 +1,36 @@
+// Build provenance for machine-readable artifacts.
+//
+// Every BENCH_*.json the harness emits carries a `provenance` object (git
+// SHA, compiler, flags, build type) so the CI perf gate
+// (scripts/compare_bench.py) can tell apart a real regression from an
+// apples-to-oranges comparison — numbers measured under different flags or
+// compilers are flagged, not silently diffed. Values are injected at
+// configure time via target_compile_definitions on this one translation
+// unit (see src/util/CMakeLists.txt), so a SHA change rebuilds a single .o.
+#pragma once
+
+#include <string>
+
+namespace oxmlc::util {
+
+// Short git SHA of HEAD at configure time ("unknown" outside a checkout).
+// Configure-time, not commit-time: a dirty tree or commits made without
+// re-running CMake can lag; CI always configures fresh so its artifacts are
+// exact.
+const std::string& build_git_sha();
+
+// Compiler id and version, e.g. "GNU 12.2.0".
+const std::string& build_compiler();
+
+// The CXX flags the build actually used (base + build-type), plus the
+// OXMLC_NATIVE marker when the native/fast-math perf configuration is on.
+const std::string& build_flags();
+
+// CMAKE_BUILD_TYPE, e.g. "Release".
+const std::string& build_type();
+
+// The whole provenance block as a JSON object string (no trailing newline):
+//   {"git_sha": "...", "compiler": "...", "flags": "...", "build_type": "..."}
+std::string provenance_json();
+
+}  // namespace oxmlc::util

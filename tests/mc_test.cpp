@@ -151,11 +151,13 @@ TEST(McRunner, ChunkedSchedulingBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The chunk policy now lives in the shared pool (util::resolve_chunk); the
+// runner inherits it via parallel_for's auto chunking.
 TEST(McRunner, ClaimChunkTargetsEightChunksPerWorker) {
-  EXPECT_EQ(detail::claim_chunk(500, 8), 7u);
-  EXPECT_EQ(detail::claim_chunk(16, 4), 1u);
+  EXPECT_EQ(util::resolve_chunk(0, 500, 8), 7u);
+  EXPECT_EQ(util::resolve_chunk(0, 16, 4), 1u);
   // Never zero, even when trials < threads * 8.
-  EXPECT_EQ(detail::claim_chunk(3, 16), 1u);
+  EXPECT_EQ(util::resolve_chunk(0, 3, 16), 1u);
 }
 
 // A throwing trial must reach the caller as an exception (the old pool let it

@@ -1,0 +1,244 @@
+// Determinism and scheduling suite for the shared util::parallel_for pool.
+//
+// Two layers of pinning:
+//   1. The pool itself: full index coverage for awkward (n, threads, chunk)
+//     combinations, per-worker context reuse, first-exception propagation,
+//     n = 0 as a no-op.
+//   2. The bit-identity contract at every migrated call site: mc::run_trials,
+//      run_retention_study, and CellBatch lane sharding must return
+//      byte-for-byte identical results at 1, 2 and 8 threads — the property
+//      every EXPERIMENTS.md number relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "mc/runner.hpp"
+#include "mlc/levels.hpp"
+#include "mlc/program.hpp"
+#include "mlc/retention.hpp"
+#include "oxram/batch_kernel.hpp"
+#include "oxram/fast_cell.hpp"
+#include "util/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace oxmlc {
+namespace {
+
+TEST(ParallelFor, ResolveHelpers) {
+  EXPECT_EQ(util::resolve_threads(4, 100), 4u);
+  EXPECT_EQ(util::resolve_threads(8, 3), 3u);   // capped at the item count
+  EXPECT_EQ(util::resolve_threads(0, 0), 1u);   // floor 1 even with no work
+  EXPECT_GE(util::resolve_threads(0, 1000), 1u);
+
+  EXPECT_EQ(util::resolve_chunk(7, 100, 4), 7u);          // explicit wins
+  EXPECT_EQ(util::resolve_chunk(0, 64, 2), 4u);           // ~8 chunks/worker
+  EXPECT_EQ(util::resolve_chunk(0, 3, 8), 1u);            // floor 1
+}
+
+TEST(ParallelFor, ZeroItemsIsANoOpAndNeverRunsTheBody) {
+  std::atomic<int> calls{0};
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    util::ParallelForOptions options;
+    options.threads = threads;
+    util::parallel_for(0, options,
+                       [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  }
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (std::size_t n : {1u, 2u, 7u, 64u, 257u}) {
+    for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+      for (std::size_t chunk : {0u, 1u, 5u, 1000u}) {
+        std::vector<std::atomic<int>> visits(n);
+        for (auto& v : visits) v.store(0);
+        util::ParallelForOptions options;
+        options.threads = threads;
+        options.chunk = chunk;
+        util::parallel_for(n, options, [&](std::size_t begin, std::size_t end) {
+          ASSERT_LE(begin, end);
+          ASSERT_LE(end, n);
+          for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(visits[i].load(), 1)
+              << "n=" << n << " threads=" << threads << " chunk=" << chunk
+              << " index=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, OneContextPerWorkerReusedAcrossChunks) {
+  std::atomic<int> contexts_built{0};
+  struct Context {
+    int chunks_seen = 0;
+  };
+  constexpr std::size_t kThreads = 3;
+  util::ParallelForOptions options;
+  options.threads = kThreads;
+  options.chunk = 4;  // 256 / 4 = 64 chunks >> 3 workers: reuse is forced
+  std::atomic<int> total_chunks{0};
+  util::parallel_for<Context>(
+      256, options,
+      [&] {
+        contexts_built.fetch_add(1);
+        return Context{};
+      },
+      [&](std::size_t, std::size_t, Context& context) {
+        ++context.chunks_seen;
+        total_chunks.fetch_add(1);
+      });
+  EXPECT_LE(contexts_built.load(), static_cast<int>(kThreads));
+  EXPECT_EQ(total_chunks.load(), 64);
+}
+
+TEST(ParallelFor, FirstExceptionPropagatesAndStopsClaiming) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    util::ParallelForOptions options;
+    options.threads = threads;
+    options.chunk = 1;
+    std::atomic<int> executed{0};
+    EXPECT_THROW(
+        util::parallel_for(1000, options,
+                           [&](std::size_t begin, std::size_t) {
+                             executed.fetch_add(1);
+                             if (begin >= 3) throw std::runtime_error("boom");
+                           }),
+        std::runtime_error)
+        << "threads=" << threads;
+    // After the failure no new chunks are claimed; only in-flight work (at
+    // most one chunk per worker) may still land.
+    EXPECT_LT(executed.load(), 1000) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, ContextFactoryExceptionPropagates) {
+  util::ParallelForOptions options;
+  options.threads = 2;
+  EXPECT_THROW(util::parallel_for<int>(
+                   16, options, []() -> int { throw std::runtime_error("no context"); },
+                   [](std::size_t, std::size_t, int&) {}),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Call-site bit-identity at 1 / 2 / 8 threads
+// ---------------------------------------------------------------------------
+
+// mc::run_trials: an rng-heavy trial whose sample is the exact bit pattern of
+// its draws. Any scheduling leak between trials changes the bytes.
+TEST(ParallelForDeterminism, RunTrialsBitIdenticalAcrossThreadCounts) {
+  const auto run = [](std::size_t threads) {
+    mc::McOptions options;
+    options.trials = 64;
+    options.seed = 0xD15EA5Eull;
+    options.threads = threads;
+    const std::function<std::vector<double>(std::size_t, Rng&)> trial =
+        [](std::size_t index, Rng& rng) {
+          std::vector<double> draws(8);
+          for (double& d : draws) d = rng.normal(static_cast<double>(index), 1.0);
+          return draws;
+        };
+    return mc::run_trials<std::vector<double>>(options, trial);
+  };
+
+  const auto reference = run(1);
+  for (std::size_t threads : {2u, 8u}) {
+    const auto parallel = run(threads);
+    ASSERT_EQ(parallel.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      for (std::size_t k = 0; k < reference[i].size(); ++k) {
+        ASSERT_EQ(std::memcmp(&parallel[i][k], &reference[i][k], sizeof(double)), 0)
+            << "threads=" << threads << " trial=" << i << " draw=" << k;
+      }
+    }
+  }
+}
+
+// run_retention_study: the flat (level x trial) index space must reproduce
+// the sequential per-level sweep byte-for-byte (retention_test pins 1/2/5;
+// this pins the 8-thread point the issue calls out).
+TEST(ParallelForDeterminism, RetentionStudyBitIdenticalAcrossThreadCounts) {
+  mlc::RetentionConfig config = mlc::RetentionConfig::paper_default(2, 8);
+  config.times = {1e-2, 1e2};
+  config.relax_verify = true;
+
+  config.study.mc.threads = 1;
+  const std::string reference = to_json(run_retention_study(config)).dump(2);
+  for (std::size_t threads : {2u, 8u}) {
+    config.study.mc.threads = threads;
+    EXPECT_EQ(to_json(run_retention_study(config)).dump(2), reference)
+        << "threads=" << threads;
+  }
+}
+
+// CellBatch lane sharding: a 16-level word programmed with sharded lanes must
+// leave every cell and result bit-identical to the single-thread run.
+TEST(ParallelForDeterminism, CellBatchShardingBitIdenticalAcrossThreadCounts) {
+  const mlc::QlcConfig config = mlc::QlcConfig::paper_default();
+  const std::size_t n_levels = config.allocation.count();
+
+  struct Snapshot {
+    std::vector<double> gaps;
+    std::vector<oxram::OperationResult> results;
+  };
+  const auto run = [&](std::size_t threads) {
+    Rng rng(0xC0FFEEull);
+    std::vector<oxram::OxramParams> devices;
+    for (std::size_t k = 0; k < n_levels; ++k) {
+      Rng lane_rng = rng.split();
+      devices.push_back(
+          oxram::sample_device(oxram::OxramParams{}, oxram::OxramVariability{}, lane_rng));
+    }
+    std::vector<oxram::FastCell> cells;
+    oxram::CellBatch batch;
+    for (std::size_t k = 0; k < n_levels; ++k) {
+      cells.push_back(oxram::FastCell::formed_lrs(devices[k], config.stack));
+      cells[k].apply_set(config.set_op);
+    }
+    for (std::size_t k = 0; k < n_levels; ++k) {
+      oxram::ResetOperation reset = config.reset_op;
+      reset.iref = config.allocation.levels[k].iref;
+      batch.add_reset(cells[k], reset);
+    }
+    oxram::BatchRunOptions options;
+    options.threads = threads;
+    Snapshot snap;
+    snap.results = batch.run(options);
+    for (const oxram::FastCell& cell : cells) snap.gaps.push_back(cell.gap());
+    return snap;
+  };
+
+  const Snapshot reference = run(1);
+  for (std::size_t threads : {2u, 8u}) {
+    const Snapshot parallel = run(threads);
+    ASSERT_EQ(parallel.gaps.size(), reference.gaps.size());
+    for (std::size_t k = 0; k < n_levels; ++k) {
+      ASSERT_EQ(std::memcmp(&parallel.gaps[k], &reference.gaps[k], sizeof(double)), 0)
+          << "threads=" << threads << " lane=" << k;
+      ASSERT_EQ(parallel.results[k].terminated, reference.results[k].terminated);
+      ASSERT_EQ(std::memcmp(&parallel.results[k].final_gap,
+                            &reference.results[k].final_gap, sizeof(double)),
+                0)
+          << "threads=" << threads << " lane=" << k;
+      ASSERT_EQ(std::memcmp(&parallel.results[k].t_terminate,
+                            &reference.results[k].t_terminate, sizeof(double)),
+                0)
+          << "threads=" << threads << " lane=" << k;
+      ASSERT_EQ(std::memcmp(&parallel.results[k].energy_cell,
+                            &reference.results[k].energy_cell, sizeof(double)),
+                0)
+          << "threads=" << threads << " lane=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oxmlc
