@@ -38,7 +38,13 @@ Self test
 ``--self-test`` verifies the gate actually trips: it loads the baselines,
 synthesizes a current run with a 30% regression injected into every gated
 ratio, and asserts the comparison fails (and that an un-regressed run
-passes). Run once before trusting a freshly committed baseline.
+passes). It also feeds the loader a malformed baseline and a schema-broken
+bench and asserts both produce an actionable error instead of a traceback.
+Run once before trusting a freshly committed baseline.
+
+Exit status: 0 pass, 1 gated regression, 2 unusable input (unreadable or
+malformed JSON, unexpected bench schema) — a 2 means fix the artifact, not
+the code under test.
 
 Usage:
   scripts/compare_bench.py --results bench_results --baselines bench_results/baselines
@@ -63,9 +69,26 @@ GATED_BENCHES = {
 }
 
 
-def load(path: Path):
-    with open(path) as fh:
-        return json.load(fh)
+class BenchDataError(Exception):
+    """A bench artifact is unreadable or malformed — actionable, not a bug."""
+
+
+def load(path: Path, role: str = "bench file"):
+    """Loads a BENCH_*.json, turning I/O and parse failures into an
+    actionable BenchDataError instead of a traceback."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except json.JSONDecodeError as e:
+        raise BenchDataError(
+            f"{role} {path} is not valid JSON (line {e.lineno}: {e.msg}); "
+            f"re-generate it with the bench binary (see bench/README or "
+            f"the bench-smoke CI job) — or, for a baseline, delete it to "
+            f"skip that gate") from e
+    except OSError as e:
+        raise BenchDataError(
+            f"cannot read {role} {path}: {e.strerror or e}; check the path "
+            f"passed via --results/--baselines") from e
 
 
 def provenance_mismatch(baseline: dict, current: dict) -> str | None:
@@ -118,8 +141,15 @@ def compare_bench(name: str, baseline: dict, current: dict,
         print(f"[compare_bench] SKIP {name}: provenance mismatch ({mismatch})")
         return failures, rows
 
-    base_metrics = gated_metrics(baseline)
-    cur_metrics = gated_metrics(current)
+    try:
+        base_metrics = gated_metrics(baseline)
+        cur_metrics = gated_metrics(current)
+    except (KeyError, TypeError, ValueError) as e:
+        raise BenchDataError(
+            f"bench '{name}' has an unexpected schema ({type(e).__name__}: {e}); "
+            f"the gated fields are documented in scripts/compare_bench.py "
+            f"(gated_metrics) — re-generate the artifact with the current bench "
+            f"binary") from e
     for metric, base_value in sorted(base_metrics.items()):
         if metric not in cur_metrics:
             failures.append(f"{name}:{metric} missing from current run")
@@ -179,8 +209,8 @@ def run_compare(results_dir: Path, baselines_dir: Path, threshold: float) -> int
                             f"produced no {filename}")
             rows.append(f"| {bench_id} | — | — | missing | FAIL |")
             continue
-        f, r = compare_bench(bench_id, load(baseline_path), load(current_path),
-                             threshold)
+        f, r = compare_bench(bench_id, load(baseline_path, "baseline"),
+                             load(current_path, "current run"), threshold)
         failures.extend(f)
         rows.extend(r)
         compared += 1
@@ -197,7 +227,7 @@ def self_test(baselines_dir: Path, threshold: float) -> int:
         baseline_path = baselines_dir / filename
         if not baseline_path.exists():
             continue
-        baseline = load(baseline_path)
+        baseline = load(baseline_path, "baseline")
         clean = copy.deepcopy(baseline)
 
         # An identical run must pass.
@@ -227,6 +257,41 @@ def self_test(baselines_dir: Path, threshold: float) -> int:
     if tested == 0:
         print("[self-test] FAIL: no baselines to test against")
         return 1
+
+    # Unusable inputs must produce an actionable message, not a traceback.
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        malformed = Path(tmp) / "BENCH_batch.json"
+        malformed.write_text("{ this is not json")
+        try:
+            load(malformed, "baseline")
+            print("[self-test] FAIL: malformed JSON not rejected")
+            return 1
+        except BenchDataError as e:
+            if "not valid JSON" not in str(e) or "re-generate" not in str(e):
+                print(f"[self-test] FAIL: malformed-JSON message not "
+                      f"actionable: {e}")
+                return 1
+        try:
+            load(Path(tmp) / "missing.json", "current run")
+            print("[self-test] FAIL: missing file not rejected")
+            return 1
+        except BenchDataError as e:
+            if "--results/--baselines" not in str(e):
+                print(f"[self-test] FAIL: missing-file message not "
+                      f"actionable: {e}")
+                return 1
+    try:
+        compare_bench("batch_throughput",
+                      {"bench": "batch_throughput", "sweeps": [{"lanes": 4}]},
+                      {"bench": "batch_throughput", "sweeps": []}, threshold)
+        print("[self-test] FAIL: schema-broken bench not rejected")
+        return 1
+    except BenchDataError as e:
+        if "unexpected schema" not in str(e):
+            print(f"[self-test] FAIL: schema message not actionable: {e}")
+            return 1
+    print("[self-test] ok: unusable inputs produce actionable errors (exit 2)")
     print(f"[self-test] PASSED ({tested} bench(es))")
     return 0
 
@@ -246,9 +311,13 @@ def main() -> int:
     args = parser.parse_args()
 
     baselines_dir = Path(args.baselines)
-    if args.self_test:
-        return self_test(baselines_dir, args.threshold)
-    return run_compare(Path(args.results), baselines_dir, args.threshold)
+    try:
+        if args.self_test:
+            return self_test(baselines_dir, args.threshold)
+        return run_compare(Path(args.results), baselines_dir, args.threshold)
+    except BenchDataError as e:
+        print(f"[compare_bench] ERROR: {e}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

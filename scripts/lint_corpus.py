@@ -4,10 +4,14 @@
 Runs `oxmlc_sim --lint --json` over the shipped netlists and the deliberately
 broken fixtures and enforces the contract the CI lint job depends on:
 
-  * tools/netlists/*.cir        must be clean: zero errors, zero warnings
-  * tools/netlists/broken/*.cir must emit exactly the diagnostic codes named
-    in their `* expect: CODE [CODE...]` header comment, and the exit status
-    must be 1 iff any error-severity finding was reported
+  * tools/netlists/*.cir and *.mlc        must be clean: zero errors/warnings
+  * tools/netlists/broken/*.cir and *.mlc must emit exactly the diagnostic
+    codes named in their `* expect: CODE [CODE...]` header comment, and the
+    exit status must be 1 iff any error-severity finding was reported
+
+.cir fixtures exercise the circuit analyzer (OXA/OXP codes); .mlc fixtures
+exercise the MLC configuration lint (OXC codes). Every report must carry the
+oxmlc.lint.v2 schema and the matching "domain" discriminator.
 
 Usage: scripts/lint_corpus.py [path/to/oxmlc_sim]   (default: build/tools/oxmlc_sim)
 """
@@ -29,7 +33,13 @@ def run_lint(sim, netlist):
         raise RuntimeError(
             f"{netlist}: oxmlc_sim exited {proc.returncode}: {proc.stderr.strip()}"
         )
-    return proc.returncode, json.loads(proc.stdout)
+    report = json.loads(proc.stdout)
+    want_domain = "mlc" if netlist.endswith(".mlc") else "circuit"
+    if report.get("schema") != "oxmlc.lint.v2":
+        raise RuntimeError(f"{netlist}: schema {report.get('schema')!r} != oxmlc.lint.v2")
+    if report.get("domain") != want_domain:
+        raise RuntimeError(f"{netlist}: domain {report.get('domain')!r} != {want_domain!r}")
+    return proc.returncode, report
 
 
 def expected_codes(netlist):
@@ -47,8 +57,14 @@ def main():
         return 2
 
     failures = []
-    clean = sorted(glob.glob(os.path.join(REPO, "tools/netlists/*.cir")))
-    broken = sorted(glob.glob(os.path.join(REPO, "tools/netlists/broken/*.cir")))
+    clean = sorted(
+        glob.glob(os.path.join(REPO, "tools/netlists/*.cir"))
+        + glob.glob(os.path.join(REPO, "tools/netlists/*.mlc"))
+    )
+    broken = sorted(
+        glob.glob(os.path.join(REPO, "tools/netlists/broken/*.cir"))
+        + glob.glob(os.path.join(REPO, "tools/netlists/broken/*.mlc"))
+    )
     if not clean or not broken:
         print("lint_corpus: corpus is empty (bad checkout?)", file=sys.stderr)
         return 2

@@ -19,10 +19,10 @@ struct ProgramLevelMetrics {
   obs::Counter& timeouts;
 
   static ProgramLevelMetrics get(std::size_t level) {
-    const std::string prefix = "mlc.program.level" + std::to_string(level);
-    return ProgramLevelMetrics{obs::registry().counter(prefix + ".pulses"),
-                               obs::registry().counter(prefix + ".terminated"),
-                               obs::registry().counter(prefix + ".timeouts")};
+    obs::Registry& reg = obs::registry();
+    return ProgramLevelMetrics{reg.counter("mlc.program.level", level, ".pulses"),
+                               reg.counter("mlc.program.level", level, ".terminated"),
+                               reg.counter("mlc.program.level", level, ".timeouts")};
   }
 };
 

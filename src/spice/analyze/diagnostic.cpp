@@ -83,7 +83,7 @@ std::string DiagnosticReport::format() const {
 
 obs::Json DiagnosticReport::to_json() const {
   obs::Json j = obs::Json::object();
-  j.set("schema", "oxmlc.lint.v1");
+  j.set("schema", kLintSchema);
   j.set("errors", static_cast<double>(errors_));
   j.set("warnings", static_cast<double>(warnings_));
   obs::Json list = obs::Json::array();

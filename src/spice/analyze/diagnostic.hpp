@@ -1,11 +1,12 @@
-// Structured diagnostics for the circuit static analyzer.
+// Structured diagnostics for the static analyzers.
 //
 // Every finding — from the netlist parser's unit-suffix lint to the MNA
-// structural-singularity pre-check — is a `Diagnostic` with a stable code
-// (OXA0xx for circuit analysis, OXP0xx for parse errors), the offending
+// structural-singularity pre-check to the MLC configuration lint — is a
+// `Diagnostic` with a stable code (OXA0xx for circuit analysis, OXP0xx for
+// parse errors, OXC0xx for MLC configuration analysis), the offending
 // device/nodes, a human message and a fix hint. Reports render as plain text
 // (one line per finding, compiler-style) and as JSON (schema
-// `oxmlc.lint.v1`, reusing obs::Json) so CI and editors can consume them.
+// `oxmlc.lint.v2`, reusing obs::Json) so CI and editors can consume them.
 #pragma once
 
 #include <string>
@@ -14,6 +15,10 @@
 #include "obs/json.hpp"
 
 namespace oxmlc::spice::analyze {
+
+// Lint report JSON schema. v2 = v1 + the OXC0xx configuration-lint code
+// namespace and a top-level "domain" key ("circuit" | "mlc") on CLI reports.
+inline constexpr const char* kLintSchema = "oxmlc.lint.v2";
 
 enum class Severity { kInfo, kWarning, kError };
 
@@ -38,6 +43,17 @@ inline constexpr const char* kMalformedCard = "OXP003";     // missing tokens/no
 inline constexpr const char* kBadValue = "OXP004";          // bad literal / rejected param
 inline constexpr const char* kUnknownWaveform = "OXP005";   // unknown waveform or model
 inline constexpr const char* kBadReference = "OXP006";      // unresolved device reference
+
+// MLC configuration lint (mlc/analyze/config_lint.hpp): static evaluation of
+// a level placement against the drift model's relaxation-widened bands.
+inline constexpr const char* kConfigParse = "OXC000";        // malformed .mlc config
+inline constexpr const char* kLevelsInverted = "OXC001";     // non-monotone iref/R order
+inline constexpr const char* kZeroWidthBand = "OXC002";      // equal adjacent nominals
+inline constexpr const char* kBandOverlap = "OXC003";        // relaxation-widened overlap
+inline constexpr const char* kLevelUnreachable = "OXC004";   // iref outside window/compliance
+inline constexpr const char* kVerifyOverHorizon = "OXC005";  // wait into retention regime
+inline constexpr const char* kVerifyUnderHorizon = "OXC006"; // re-sense before relaxation
+inline constexpr const char* kLevelCountMismatch = "OXC007"; // levels != 2^bits
 }  // namespace codes
 
 struct Diagnostic {
@@ -71,7 +87,7 @@ class DiagnosticReport {
   // One formatted line per diagnostic plus a trailing summary line.
   std::string format() const;
 
-  // {"schema": "oxmlc.lint.v1", "errors": N, "warnings": N, "diagnostics": [..]}
+  // {"schema": "oxmlc.lint.v2", "errors": N, "warnings": N, "diagnostics": [..]}
   obs::Json to_json() const;
 
  private:

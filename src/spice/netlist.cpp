@@ -52,7 +52,7 @@ bool parse_plain_number(const std::string& token, double& out,
   double scale = 1.0;
   std::string tail = suffix;
   for (const auto& s : kSuffixes) {
-    if (suffix.rfind(s.name, 0) == 0) {
+    if (suffix.starts_with(s.name)) {
       scale = s.scale;
       tail = suffix.substr(std::string(s.name).size());
       break;

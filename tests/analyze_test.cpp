@@ -1,7 +1,8 @@
-// Circuit static analyzer: every OXA0xx check, suppression, the MnaSystem
-// precheck gate, and the broken-netlist regression corpus under
-// tools/netlists/broken/ (each fixture declares its expected codes in an
-// `* expect: CODE...` header, mirroring scripts/lint_corpus.py).
+// Static analyzers: every OXA0xx circuit check, the OXC0xx MLC configuration
+// lint, suppression, the MnaSystem precheck gate, and the broken-fixture
+// regression corpus under tools/netlists/broken/ (each fixture declares its
+// expected codes in an `* expect: CODE...` header, mirroring
+// scripts/lint_corpus.py).
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -10,6 +11,8 @@
 #include <sstream>
 #include <string>
 
+#include "mlc/analyze/config_lint.hpp"
+#include "oxram/drift.hpp"
 #include "spice/analyze/analyzer.hpp"
 #include "spice/dc.hpp"
 #include "spice/netlist.hpp"
@@ -196,7 +199,7 @@ std::set<std::string> expected_codes(const std::filesystem::path& netlist) {
   std::string line;
   while (std::getline(file, line)) {
     const auto pos = line.find("expect:");
-    if (line.rfind('*', 0) == 0 && pos != std::string::npos) {
+    if (line.starts_with('*') && pos != std::string::npos) {
       std::istringstream is(line.substr(pos + 7));
       std::set<std::string> codes;
       std::string code;
@@ -228,30 +231,199 @@ std::set<std::string> lint_codes(const std::filesystem::path& netlist) {
   return codes;
 }
 
+// Mirrors `oxmlc_sim --lint placement.mlc`: parse (OXC000 on failure), lint.
+std::set<std::string> mlc_lint_codes(const std::filesystem::path& config) {
+  std::ifstream file(config);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  std::set<std::string> found;
+  try {
+    const DiagnosticReport report =
+        mlc::analyze::lint_mlc_config(mlc::analyze::parse_mlc_config(buffer.str()));
+    for (const auto& d : report.diagnostics()) found.insert(d.code);
+  } catch (const InvalidArgumentError&) {
+    found.insert(codes::kConfigParse);
+  }
+  return found;
+}
+
 TEST(AnalyzeCorpus, BrokenFixturesFlagExpectedCodes) {
   const std::filesystem::path dir =
       std::filesystem::path(OXMLC_SOURCE_DIR) / "tools" / "netlists" / "broken";
   ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
-  std::size_t fixtures = 0;
+  std::size_t circuits = 0;
+  std::size_t configs = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    if (entry.path().extension() != ".cir") continue;
-    ++fixtures;
-    EXPECT_EQ(lint_codes(entry.path()), expected_codes(entry.path()))
-        << entry.path();
+    if (entry.path().extension() == ".cir") {
+      ++circuits;
+      EXPECT_EQ(lint_codes(entry.path()), expected_codes(entry.path()))
+          << entry.path();
+    } else if (entry.path().extension() == ".mlc") {
+      ++configs;
+      EXPECT_EQ(mlc_lint_codes(entry.path()), expected_codes(entry.path()))
+          << entry.path();
+    }
   }
-  EXPECT_GE(fixtures, 10u);
+  EXPECT_GE(circuits, 10u);
+  EXPECT_GE(configs, 6u);
 }
 
 TEST(AnalyzeCorpus, ShippedNetlistsLintClean) {
   const std::filesystem::path dir =
       std::filesystem::path(OXMLC_SOURCE_DIR) / "tools" / "netlists";
   std::size_t netlists = 0;
+  std::size_t configs = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    if (entry.path().extension() != ".cir") continue;
-    ++netlists;
-    EXPECT_TRUE(lint_codes(entry.path()).empty()) << entry.path();
+    if (entry.path().extension() == ".cir") {
+      ++netlists;
+      EXPECT_TRUE(lint_codes(entry.path()).empty()) << entry.path();
+    } else if (entry.path().extension() == ".mlc") {
+      ++configs;
+      EXPECT_TRUE(mlc_lint_codes(entry.path()).empty()) << entry.path();
+    }
   }
   EXPECT_GE(netlists, 2u);
+  EXPECT_GE(configs, 1u);
+}
+
+// --- MLC configuration lint (OXC0xx) ---
+
+namespace mlca = oxmlc::mlc::analyze;
+
+// Two well-separated levels with an effective relaxation-aware verify.
+mlca::MlcLintInput two_level_input() {
+  mlca::MlcLintInput input;
+  input.bits = 1;
+  input.levels = {{0, 36e-6, 40e3}, {1, 6e-6, 200e3}};
+  input.verify_enabled = true;
+  return input;
+}
+
+TEST(MlcConfigLint, PaperPlacementWithVerifyLintsClean) {
+  // The configuration `oxmlc_sim --retention` actually runs: the ISO-dI
+  // allocation over the calibrated R(IrefR) curve at 4 bits, verify on.
+  const auto report = mlca::lint_mlc_config(mlca::MlcLintInput::paper_default(4));
+  EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(MlcConfigLint, CleanTwoLevelInputHasNoFindings) {
+  const auto report = mlca::lint_mlc_config(two_level_input());
+  EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(MlcConfigLint, DisablingVerifyWidensBandsIntoOverlap) {
+  // 100k/140k clears as programmed (103 vs 135.8 kOhm) but the 99.9 %
+  // relaxation quantile drags the upper band's low edge to ~94 kOhm — the
+  // static restatement of the paper's programmed-state-stability comparison.
+  mlca::MlcLintInput input = two_level_input();
+  input.levels = {{0, 36e-6, 100e3}, {1, 6e-6, 140e3}};
+  EXPECT_TRUE(mlca::lint_mlc_config(input).empty());
+  input.verify_enabled = false;
+  const auto report = mlca::lint_mlc_config(input);
+  EXPECT_TRUE(report.has_code(codes::kBandOverlap)) << report.format();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(MlcConfigLint, UnderHorizonVerifyKeepsWideningAndWarns) {
+  // A verify that re-senses at 2 us (fast component ~58 % expressed) does not
+  // filter the tail: the widening stays in play on top of the OXC006 warning.
+  mlca::MlcLintInput input = two_level_input();
+  input.levels = {{0, 36e-6, 100e3}, {1, 6e-6, 140e3}};
+  input.tau_relax = 2e-6;
+  const auto report = mlca::lint_mlc_config(input);
+  EXPECT_TRUE(report.has_code(codes::kVerifyUnderHorizon)) << report.format();
+  EXPECT_TRUE(report.has_code(codes::kBandOverlap)) << report.format();
+}
+
+TEST(MlcConfigLint, OverHorizonVerifyWarns) {
+  mlca::MlcLintInput input = two_level_input();
+  input.tau_relax = 1000.0;
+  const auto report = mlca::lint_mlc_config(input);
+  EXPECT_TRUE(report.has_code(codes::kVerifyOverHorizon)) << report.format();
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(MlcConfigLint, InversionSuppressesBandChecks) {
+  mlca::MlcLintInput input = two_level_input();
+  std::swap(input.levels[0].r_nominal, input.levels[1].r_nominal);
+  std::swap(input.levels[0].iref, input.levels[1].iref);
+  const auto report = mlca::lint_mlc_config(input);
+  EXPECT_TRUE(report.has_code(codes::kLevelsInverted));
+  EXPECT_FALSE(report.has_code(codes::kBandOverlap)) << report.format();
+}
+
+TEST(MlcConfigLint, EqualNominalsAreZeroWidthNotInverted) {
+  mlca::MlcLintInput input = two_level_input();
+  input.levels[1].r_nominal = input.levels[0].r_nominal;
+  const auto report = mlca::lint_mlc_config(input);
+  EXPECT_TRUE(report.has_code(codes::kZeroWidthBand));
+  EXPECT_FALSE(report.has_code(codes::kLevelsInverted)) << report.format();
+  EXPECT_FALSE(report.has_code(codes::kBandOverlap)) << report.format();
+}
+
+TEST(MlcConfigLint, ComplianceCapMakesLevelUnreachable) {
+  mlca::MlcLintInput input = two_level_input();
+  input.i_compliance = 20e-6;  // level 0 terminates at 36 uA
+  const auto report = mlca::lint_mlc_config(input);
+  EXPECT_TRUE(report.has_code(codes::kLevelUnreachable));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(MlcConfigLint, LevelCountMismatchIsWarning) {
+  mlca::MlcLintInput input = two_level_input();
+  input.bits = 2;
+  const auto report = mlca::lint_mlc_config(input);
+  EXPECT_TRUE(report.has_code(codes::kLevelCountMismatch));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(MlcConfigLint, NolintDirectiveSuppressesCodes) {
+  const auto input = mlca::parse_mlc_config(
+      ".mlc bits=1\n"
+      ".level value=0 iref=36u r=100k\n"
+      ".level value=1 iref=6u r=140k\n"
+      ".nolint OXC003\n");
+  EXPECT_FALSE(input.verify_enabled);
+  const auto report = mlca::lint_mlc_config(input);
+  EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(MlcConfigLint, ParseErrorsCarryLineNumbers) {
+  try {
+    mlca::parse_mlc_config(".mlc bits=1\n.level value=0 iref=bogus\n");
+    FAIL() << "expected parse throw";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(MlcConfigLint, ParserAcceptsSiSuffixes) {
+  const auto input = mlca::parse_mlc_config(
+      ".mlc bits=1\n"
+      ".window imin=6u imax=36u icomp=60u rfloor=30k\n"
+      ".level value=0 iref=36u r=0.1meg\n"
+      ".level value=1 iref=6u r=200k\n"
+      ".verify tau_relax=1m max_passes=2\n");
+  EXPECT_DOUBLE_EQ(input.levels[0].r_nominal, 100e3);
+  EXPECT_DOUBLE_EQ(input.tau_relax, 1e-3);
+  EXPECT_EQ(input.verify_max_passes, 2u);
+}
+
+TEST(MlcConfigLint, WideningIsIdentityWithoutDrift) {
+  mlca::MlcLintInput input = two_level_input();
+  input.drift.enabled = false;
+  EXPECT_DOUBLE_EQ(mlca::relaxation_widened_low_edge(input, 140e3), 140e3);
+  input.drift.enabled = true;
+  EXPECT_LT(mlca::relaxation_widened_low_edge(input, 140e3), 140e3);
+  // The floor itself cannot be widened below the floor.
+  EXPECT_DOUBLE_EQ(mlca::relaxation_widened_low_edge(input, input.r_floor),
+                   input.r_floor);
+}
+
+TEST(MlcConfigLint, HorizonMatchesPhiCoverage) {
+  const oxram::DriftParams drift;
+  const double horizon = mlca::relaxation_horizon(drift, 0.99);
+  EXPECT_NEAR(oxram::drift_phi(horizon, drift.tau_fast, drift.nu_fast), 0.99, 1e-9);
 }
 
 }  // namespace

@@ -11,7 +11,9 @@
 //                                                comparison + scrub demo) as
 //                                                oxmlc.retention.v1 JSON
 //   oxmlc_sim --lint netlist.cir                 static analysis only (no solve)
-//   oxmlc_sim --lint --json netlist.cir          ... as oxmlc.lint.v1 JSON
+//   oxmlc_sim --lint placement.mlc               MLC configuration lint (OXC0xx)
+//   oxmlc_sim --lint --bits 4                    lint the built-in paper placement
+//   oxmlc_sim --lint --json netlist.cir          ... as oxmlc.lint.v2 JSON
 //
 // Every mode accepts `--metrics out.json`: after the analysis the global
 // observability registry (Newton/DC/transient solver counters and timers,
@@ -29,6 +31,7 @@
 
 #include "array/write_path.hpp"
 #include "devices/sources.hpp"
+#include "mlc/analyze/config_lint.hpp"
 #include "mlc/controller.hpp"
 #include "mlc/mc_study.hpp"
 #include "mlc/retention.hpp"
@@ -82,9 +85,12 @@ struct CliOptions {
                "  --probe <node>      record this node (repeatable; default: all)\n"
                "  --plot <node>       ASCII-plot this node's waveform (repeatable)\n"
                "  --csv <file>        write the recorded waveforms as CSV\n"
-               "  --lint              static analysis only: parse, run the circuit\n"
-               "                      analyzer (OXA0xx codes), exit 1 on errors\n"
-               "  --json              --lint output as oxmlc.lint.v1 JSON\n"
+               "  --lint              static analysis only, exit 1 on errors. For a\n"
+               "                      .cir netlist: parse + circuit analyzer (OXA0xx).\n"
+               "                      For a .mlc file: MLC configuration lint (OXC0xx).\n"
+               "                      With no file: lint the built-in paper placement\n"
+               "                      at --bits (default 4)\n"
+               "  --json              --lint output as oxmlc.lint.v2 JSON\n"
                "  --qlc               QLC program run (no netlist): MC program of\n"
                "                      every level + one transistor-level terminated RST\n"
                "  --retention         retention sweep (no netlist): drift MC over decades\n"
@@ -151,11 +157,14 @@ CliOptions parse_cli(int argc, char** argv) {
       usage("multiple netlist files given");
     }
   }
-  if (options.netlist_path.empty() && !options.qlc && !options.retention) {
+  if (options.netlist_path.empty() && !options.qlc && !options.retention &&
+      !options.lint) {
     usage("no netlist file given");
   }
-  if (options.qlc || options.retention) {
+  if (options.qlc || options.retention || (options.lint && options.netlist_path.empty())) {
     if (options.qlc_bits < 1 || options.qlc_bits > 6) usage("--bits must be in 1..6");
+  }
+  if (options.qlc || options.retention) {
     if (options.qlc_trials < 1) usage("--trials must be positive");
   }
   return options;
@@ -304,6 +313,48 @@ int run_retention(const CliOptions& options) {
   return 0;
 }
 
+// Shared tail of both lint modes: render the report (text or oxmlc.lint.v2
+// JSON with the "domain" discriminator) and map findings to exit status.
+int emit_lint_report(const CliOptions& options,
+                     const spice::analyze::DiagnosticReport& report,
+                     const std::string& source_name, const char* domain) {
+  if (options.json) {
+    obs::Json j = report.to_json();
+    j.set("domain", domain);
+    j.set("source", source_name);
+    std::cout << j.dump(2) << "\n";
+  } else {
+    std::cout << source_name << ":\n" << report.format();
+  }
+  return report.has_errors() ? 1 : 0;
+}
+
+// --lint on a .mlc file (or with no file at all: the built-in paper placement
+// at --bits). Parse failures surface as a single OXC000 diagnostic so the
+// report shape stays uniform with the circuit path.
+int run_config_lint(const CliOptions& options, const std::string* config_text) {
+  spice::analyze::DiagnosticReport report;
+  try {
+    const mlc::analyze::MlcLintInput input =
+        config_text != nullptr
+            ? mlc::analyze::parse_mlc_config(*config_text)
+            : mlc::analyze::MlcLintInput::paper_default(options.qlc_bits);
+    report = mlc::analyze::lint_mlc_config(input);
+  } catch (const InvalidArgumentError& e) {
+    spice::analyze::Diagnostic d;
+    d.severity = spice::analyze::Severity::kError;
+    d.code = spice::analyze::codes::kConfigParse;
+    d.message = e.what();
+    d.fix_hint = "see the .mlc dialect in src/mlc/analyze/config_lint.hpp";
+    report.add(std::move(d));
+  }
+  const std::string name =
+      config_text != nullptr
+          ? options.netlist_path
+          : "<paper placement, bits=" + std::to_string(options.qlc_bits) + ">";
+  return emit_lint_report(options, report, name, "mlc");
+}
+
 // --lint: parse + static analysis, no solve. Exit status 0 when clean or
 // warnings only, 1 on error-severity findings (including parse failures, which
 // surface as a single OXP0xx diagnostic so the output shape stays uniform).
@@ -330,14 +381,7 @@ int run_lint(const CliOptions& options, const std::string& netlist_text) {
     for (const auto& d : parsed.lint.diagnostics()) report.add(d);
   }
 
-  if (options.json) {
-    obs::Json j = report.to_json();
-    j.set("netlist", options.netlist_path);
-    std::cout << j.dump(2) << "\n";
-  } else {
-    std::cout << options.netlist_path << ":\n" << report.format();
-  }
-  return report.has_errors() ? 1 : 0;
+  return emit_lint_report(options, report, options.netlist_path, "circuit");
 }
 
 int run_op(spice::ParsedNetlist& parsed) {
@@ -485,6 +529,9 @@ int main(int argc, char** argv) {
 
     if (options.retention) return finish(run_retention(options));
     if (options.qlc) return finish(run_qlc(options));
+    if (options.lint && options.netlist_path.empty()) {
+      return finish(run_config_lint(options, nullptr));
+    }
 
     std::ifstream file(options.netlist_path);
     if (!file.good()) {
@@ -493,7 +540,13 @@ int main(int argc, char** argv) {
     }
     std::stringstream buffer;
     buffer << file.rdbuf();
-    if (options.lint) return finish(run_lint(options, buffer.str()));
+    if (options.lint) {
+      const std::string text = buffer.str();
+      if (options.netlist_path.ends_with(".mlc")) {
+        return finish(run_config_lint(options, &text));
+      }
+      return finish(run_lint(options, text));
+    }
     spice::ParsedNetlist parsed = spice::parse_netlist(buffer.str());
     if (!parsed.title.empty()) std::cout << "*" << parsed.title << "\n";
 

@@ -1,0 +1,36 @@
+#include "MetricsLiteralCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::oxmlc {
+
+void MetricsLiteralCheck::registerMatchers(MatchFinder *Finder) {
+  // A name argument is literal if, after stripping implicit conversions and
+  // the std::string materialization, a StringLiteral remains.
+  const auto LiteralName = ignoringImplicit(anyOf(
+      stringLiteral(),
+      cxxConstructExpr(hasArgument(0, ignoringImplicit(stringLiteral())))));
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              hasAnyName("counter", "gauge", "timer", "histogram"),
+              ofClass(hasName("::oxmlc::obs::Registry")))),
+          unless(hasArgument(0, LiteralName)))
+          .bind("call"),
+      this);
+}
+
+void MetricsLiteralCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CXXMemberCallExpr>("call");
+  if (Call == nullptr || Call->getNumArgs() == 0)
+    return;
+  diag(Call->getArg(0)->getBeginLoc(),
+       "metric name must be a string literal so it is grep-able; for indexed "
+       "families use the Registry (\"family.stem\", index, \".suffix\") "
+       "overload");
+}
+
+}  // namespace clang::tidy::oxmlc

@@ -1,0 +1,23 @@
+// oxmlc-metrics-literal: the first argument of every obs::Registry
+// counter()/gauge()/timer()/histogram() name lookup must be a string
+// literal so metric names stay grep-able. Indexed families go through the
+// sanctioned (prefix, index, suffix) overload, whose prefix and suffix are
+// themselves literals.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::oxmlc {
+
+class MetricsLiteralCheck : public ClangTidyCheck {
+ public:
+  MetricsLiteralCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::oxmlc

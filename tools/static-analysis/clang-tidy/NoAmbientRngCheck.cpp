@@ -1,0 +1,62 @@
+#include "NoAmbientRngCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::oxmlc {
+
+namespace {
+// Mirrors SANCTIONED_RNG in oxmlc_checks.py.
+constexpr const char *kSanctioned[] = {
+    "src/util/rng.hpp", "src/util/rng.cpp",
+    "src/mc/runner.hpp", "src/mc/runner.cpp"};
+}  // namespace
+
+bool NoAmbientRngCheck::inSanctionedFile(const SourceManager &SM,
+                                         SourceLocation Loc) const {
+  const StringRef File = SM.getFilename(SM.getSpellingLoc(Loc));
+  for (const char *Allowed : kSanctioned) {
+    if (File.ends_with(Allowed))
+      return true;
+  }
+  return false;
+}
+
+void NoAmbientRngCheck::registerMatchers(MatchFinder *Finder) {
+  const auto EngineType = hasDeclaration(namedDecl(hasAnyName(
+      "::std::mt19937", "::std::mt19937_64", "::std::minstd_rand",
+      "::std::minstd_rand0", "::std::default_random_engine",
+      "::std::random_device", "::std::knuth_b")));
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(namedDecl(hasAnyName(
+                  "::std::mersenne_twister_engine",
+                  "::std::linear_congruential_engine", "::std::random_device",
+                  "::std::shuffle_order_engine"))))))
+          .bind("engine"),
+      this);
+  Finder->addMatcher(varDecl(hasType(qualType(EngineType))).bind("engine"),
+                     this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::srand"))))
+          .bind("crand"),
+      this);
+}
+
+void NoAmbientRngCheck::check(const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  if (const auto *TL = Result.Nodes.getNodeAs<TypeLoc>("engine"))
+    Loc = TL->getBeginLoc();
+  else if (const auto *VD = Result.Nodes.getNodeAs<VarDecl>("engine"))
+    Loc = VD->getLocation();
+  else if (const auto *CE = Result.Nodes.getNodeAs<CallExpr>("crand"))
+    Loc = CE->getBeginLoc();
+  if (Loc.isInvalid() || inSanctionedFile(*Result.SourceManager, Loc))
+    return;
+  diag(Loc,
+       "ambient random engine; use util::Rng (seeded, reproducible) so "
+       "Monte-Carlo results replay from one seed");
+}
+
+}  // namespace clang::tidy::oxmlc

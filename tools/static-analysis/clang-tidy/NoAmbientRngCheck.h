@@ -1,0 +1,25 @@
+// oxmlc-no-ambient-rng: flags ambient randomness sources (std::mt19937 and
+// friends, std::random_device, rand()/srand()) outside the sanctioned
+// util::Rng implementation files. All randomness must flow through the
+// seeded, stream-splittable util::Rng so Monte-Carlo runs are reproducible.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::oxmlc {
+
+class NoAmbientRngCheck : public ClangTidyCheck {
+ public:
+  NoAmbientRngCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+ private:
+  bool inSanctionedFile(const SourceManager &SM, SourceLocation Loc) const;
+};
+
+}  // namespace clang::tidy::oxmlc

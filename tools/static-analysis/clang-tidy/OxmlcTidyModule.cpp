@@ -1,0 +1,30 @@
+// Registers the oxmlc clang-tidy module. The check semantics are documented
+// in tools/static-analysis/oxmlc_checks.py (the standalone runner CI
+// enforces) and DESIGN.md "Static analysis"; this module is the same
+// contract surfaced through `clang-tidy -load`.
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "MetricsLiteralCheck.h"
+#include "NoAmbientRngCheck.h"
+#include "UnorderedResultIterationCheck.h"
+
+namespace clang::tidy::oxmlc {
+
+class OxmlcModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &factories) override {
+    factories.registerCheck<NoAmbientRngCheck>("oxmlc-no-ambient-rng");
+    factories.registerCheck<MetricsLiteralCheck>("oxmlc-metrics-literal");
+    factories.registerCheck<UnorderedResultIterationCheck>(
+        "oxmlc-unordered-result-iteration");
+  }
+};
+
+static ClangTidyModuleRegistry::Add<OxmlcModule> X(
+    "oxmlc-module", "oxmlc repo-invariant checks (determinism, metrics)");
+
+}  // namespace clang::tidy::oxmlc
+
+// Anchor so -load keeps the module object file.
+volatile int OxmlcModuleAnchorSource = 0;

@@ -1,0 +1,33 @@
+#include "UnorderedResultIterationCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::oxmlc {
+
+void UnorderedResultIterationCheck::registerMatchers(MatchFinder *Finder) {
+  const auto UnorderedContainer = hasDeclaration(classTemplateSpecializationDecl(
+      hasAnyName("::std::unordered_map", "::std::unordered_set",
+                 "::std::unordered_multimap", "::std::unordered_multiset")));
+  Finder->addMatcher(
+      cxxForRangeStmt(
+          hasRangeInit(expr(hasType(
+              qualType(anyOf(UnorderedContainer,
+                             references(qualType(UnorderedContainer))))))))
+          .bind("loop"),
+      this);
+}
+
+void UnorderedResultIterationCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const auto *Loop = Result.Nodes.getNodeAs<CXXForRangeStmt>("loop");
+  if (Loop == nullptr)
+    return;
+  diag(Loop->getRangeInit()->getBeginLoc(),
+       "range-for over an unordered container visits elements in hash order "
+       "(nondeterministic); iterate a sorted copy of the keys instead");
+}
+
+}  // namespace clang::tidy::oxmlc

@@ -1,0 +1,22 @@
+// oxmlc-unordered-result-iteration: range-for over std::unordered_{map,set}
+// visits elements in hash order, which differs across libstdc++ versions and
+// insertion histories — results and reports built that way are
+// nondeterministic. Iterate a sorted view instead.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::oxmlc {
+
+class UnorderedResultIterationCheck : public ClangTidyCheck {
+ public:
+  UnorderedResultIterationCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::oxmlc

@@ -1,0 +1,13 @@
+// Ambient randomness: a private engine seeded from the wall clock makes every
+// Monte-Carlo result unreproducible. All four patterns must be flagged.
+// expect: oxmlc-no-ambient-rng
+#include <cstdlib>
+#include <random>
+
+double noisy_sample() {
+  std::random_device seed;
+  std::mt19937 engine(seed());
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  srand(42);
+  return dist(engine) + rand() / 2147483647.0;
+}

@@ -1,0 +1,16 @@
+// The sanctioned pattern: randomness flows through util::Rng, seeded by the
+// caller, so a run is reproducible from its seed. Also exercises suppression:
+// the nolint-ed engine below must NOT be reported.
+// expect: clean
+#include "util/rng.hpp"
+
+double reproducible_sample(oxmlc::Rng& rng) {
+  // A string mentioning std::mt19937 must not fire either.
+  const char* docs = "wraps std::mt19937_64 internally";
+  (void)docs;
+  return rng.uniform();
+}
+
+// oxmlc-nolint-next-line(oxmlc-no-ambient-rng)
+using LegacyEngine = std::mt19937;
+int legacy_rand() { return rand(); }  // oxmlc-nolint(oxmlc-no-ambient-rng)

@@ -1,0 +1,13 @@
+// Instantiates a Pack template without the -ffp-contract=off source
+// property: under OXMLC_NATIVE the compiler may contract a*b+c into FMA here
+// while the AVX twin keeps separate rounding — the bitwise equivalence test
+// breaks only on native builds.
+// expect: oxmlc-fp-contract-tu
+#include "numeric/simd.hpp"
+
+double pack_sum(const double* values) {
+  using P = oxmlc::numeric::PackScalar;
+  typename P::Value acc = P::broadcast(0.0);
+  acc = P::fma(P::load(values), P::broadcast(2.0), acc);
+  return P::reduce_add(acc);
+}

@@ -1,0 +1,12 @@
+// Same Pack usage as bad_pack.cpp, but this TU is listed in the
+// set_source_files_properties(... "-ffp-contract=off") property in the
+// sibling CMakeLists.txt, so implicit FMA contraction is pinned off.
+// expect: clean
+#include "numeric/simd.hpp"
+
+double pack_sum(const double* values) {
+  using P = oxmlc::numeric::PackScalar;
+  typename P::Value acc = P::broadcast(0.0);
+  acc = P::fma(P::load(values), P::broadcast(2.0), acc);
+  return P::reduce_add(acc);
+}

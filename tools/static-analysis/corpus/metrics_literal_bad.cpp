@@ -1,0 +1,14 @@
+// Dynamically-built metric names defeat `grep -r "mlc.program.level3"`:
+// nobody can find where a metric is emitted. Both calls must be flagged.
+// expect: oxmlc-metrics-literal
+#include <cstddef>
+#include <string>
+
+#include "obs/registry.hpp"
+
+void count_level(std::size_t level) {
+  const std::string prefix = "mlc.program.level" + std::to_string(level);
+  oxmlc::obs::registry().counter(prefix + ".pulses").add(1);
+  const std::string timer_name = prefix + ".time";
+  oxmlc::obs::registry().timer(timer_name);
+}

@@ -1,0 +1,12 @@
+// Grep-able metric names: plain literals, and the sanctioned Registry family
+// overload for per-index metrics (its stem and suffix are again literals).
+// expect: clean
+#include <cstddef>
+
+#include "obs/registry.hpp"
+
+void count_level(std::size_t level) {
+  oxmlc::obs::registry().counter("mlc.program.operations").add(1);
+  oxmlc::obs::registry().counter("mlc.program.level", level, ".pulses").add(1);
+  oxmlc::obs::registry().histogram("mlc.program.latency_us", 0.0, 12.0, 48);
+}

@@ -1,0 +1,24 @@
+// Results assembled by walking an unordered_map come out in hash order:
+// different libstdc++ versions (or a different insertion history) reorder
+// the report. Both range-fors must be flagged.
+// expect: oxmlc-unordered-result-iteration
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Report {
+  std::unordered_map<std::string, double> metrics;
+  std::unordered_set<std::string> tags;
+
+  std::vector<std::string> render() const {
+    std::vector<std::string> lines;
+    for (const auto& [name, value] : metrics) {
+      lines.push_back(name + "=" + std::to_string(value));
+    }
+    for (const auto& tag : tags) {
+      lines.push_back("#" + tag);
+    }
+    return lines;
+  }
+};

@@ -1,0 +1,34 @@
+// Unordered containers are fine for lookup; to emit results, iterate a
+// sorted view. The map itself is never range-for'd.
+// expect: clean
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Report {
+  std::unordered_map<std::string, double> metrics;
+
+  double lookup(const std::string& name) const {
+    const auto it = metrics.find(name);
+    return it == metrics.end() ? 0.0 : it->second;
+  }
+
+  std::vector<std::string> render() const {
+    std::vector<std::string> names;
+    names.reserve(metrics.size());
+    for (const auto& entry : sorted_names()) {
+      names.push_back(entry);
+    }
+    return names;
+  }
+
+  std::vector<std::string> sorted_names() const {
+    std::vector<std::string> names;
+    for (auto it = metrics.begin(); it != metrics.end(); ++it) {
+      names.push_back(it->first);  // iterator form is for building the view
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
