@@ -53,6 +53,7 @@ RANK = {
     "netlist": 7,
     "reliability": 8,
     "mlc": 9,
+    "memsys": 10,
 }
 
 # The netlist parser is carved out of src/spice/ as its own (virtual) module;

@@ -66,6 +66,7 @@ DEFAULT_THRESHOLD = 0.25
 GATED_BENCHES = {
     "batch_throughput": "BENCH_batch.json",
     "array_scale": "BENCH_array_scale.json",
+    "trace_replay": "BENCH_trace.json",
 }
 
 
@@ -126,6 +127,15 @@ def gated_metrics(bench: dict) -> dict[str, float]:
         cells = float(bench.get("cells", 0))
         terminated = float(bench.get("terminated", 0))
         metrics["terminated_fraction"] = terminated / cells if cells else 0.0
+    elif bench.get("bench") == "trace_replay":
+        # SIMULATED figures of merit: pure functions of (trace, geometry),
+        # identical on any runner, so a drop is a scheduler/model regression
+        # and never machine noise. Wall-clock requests_per_s is deliberately
+        # NOT gated. All three are higher-is-better ratios, matching the
+        # gate's floor logic.
+        metrics["sustained_mb_s"] = float(bench["sustained_mb_s"])
+        metrics["row_hit_rate"] = float(bench["row_hit_rate"])
+        metrics["retired_fraction"] = float(bench["retired_fraction"])
     return metrics
 
 
@@ -246,6 +256,10 @@ def self_test(baselines_dir: Path, threshold: float) -> int:
                     sweep["vector_speedup"] *= 0.7
         elif regressed.get("bench") == "array_scale":
             regressed["terminated"] = int(regressed.get("terminated", 0) * 0.7)
+        elif regressed.get("bench") == "trace_replay":
+            regressed["sustained_mb_s"] *= 0.7
+            regressed["row_hit_rate"] *= 0.7
+            regressed["retired_fraction"] *= 0.7
         bad_failures, _ = compare_bench(bench_id, baseline, regressed, threshold)
         if not bad_failures:
             print(f"[self-test] FAIL: synthetic 30% regression NOT caught "

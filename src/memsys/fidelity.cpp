@@ -1,0 +1,181 @@
+#include "memsys/fidelity.hpp"
+
+#include <algorithm>
+
+#include "array/write_path.hpp"
+#include "mc/runner.hpp"
+#include "mlc/controller.hpp"
+#include "oxram/params.hpp"
+#include "reliability/engine.hpp"
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+
+namespace oxmlc::memsys {
+
+FidelityEngine::FidelityEngine(const GeometryConfig& geometry, FidelityConfig config)
+    : geometry_(geometry),
+      config_(config),
+      study_(mlc::paper_mc_study(geometry.bits_per_cell, /*trials=*/1)),
+      programmer_(study_.qlc) {
+  geometry_.validate();
+  OXMLC_CHECK(config_.word_sample_period > 0, "FidelityConfig: word_sample_period must be > 0");
+  OXMLC_CHECK(config_.mna_sample_period > 0, "FidelityConfig: mna_sample_period must be > 0");
+  OXMLC_CHECK(config_.witness_rows >= 2,
+              "FidelityConfig: witness_rows must be >= 2 (one row stays unwritten)");
+}
+
+bool FidelityEngine::is_word_sample(std::size_t write_ordinal) const {
+  if (!config_.word_tier) return false;
+  return write_ordinal % config_.word_sample_period == 0 &&
+         write_ordinal / config_.word_sample_period < config_.word_max_samples;
+}
+
+bool FidelityEngine::is_mna_sample(std::size_t write_ordinal) const {
+  if (!config_.mna_tier) return false;
+  return write_ordinal % config_.mna_sample_period == 0 &&
+         write_ordinal / config_.mna_sample_period < config_.mna_max_samples;
+}
+
+std::vector<std::size_t> FidelityEngine::levels_for(std::uint64_t data) const {
+  const std::size_t count = study_.qlc.allocation.count();
+  const std::uint64_t mask = (std::uint64_t{1} << geometry_.bits_per_cell) - 1;
+  std::vector<std::size_t> levels(geometry_.cells_per_word);
+  for (std::size_t cell = 0; cell < levels.size(); ++cell) {
+    const std::size_t shift = (cell * geometry_.bits_per_cell) % 64;
+    levels[cell] = static_cast<std::size_t>((data >> shift) & mask) % count;
+  }
+  return levels;
+}
+
+namespace {
+
+struct WordSampleOutcome {
+  std::size_t decode_errors = 0;
+  std::size_t unterminated = 0;
+  double latency_s = 0.0;  // slowest bit of the word
+  double energy_j = 0.0;   // summed over the word
+};
+
+}  // namespace
+
+WordTierReport FidelityEngine::run_word_tier(std::span<const WordSample> samples) const {
+  WordTierReport report;
+  if (samples.empty()) return report;
+  // Index-addressed results + sequential reduction: the parallel_for
+  // determinism contract (each outcome depends only on (seed, trace_index)).
+  std::vector<WordSampleOutcome> outcomes(samples.size());
+  util::ParallelForOptions options;
+  options.threads = config_.threads;
+  util::parallel_for(
+      samples.size(), options,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const WordSample& sample = samples[i];
+          Rng rng = mc::trial_rng(config_.seed, sample.trace_index);
+          const std::vector<std::size_t> levels = levels_for(sample.data);
+          // Fresh D2D-sampled word, then one split stream per bit line; the
+          // whole draw order is a function of the trace index alone.
+          std::vector<oxram::FastCell> cells;
+          cells.reserve(levels.size());
+          for (std::size_t c = 0; c < levels.size(); ++c) {
+            const oxram::OxramParams device =
+                oxram::sample_device(study_.nominal, study_.variability, rng);
+            cells.push_back(oxram::FastCell::formed_lrs(device, study_.stack));
+          }
+          std::vector<Rng> cell_rngs;
+          cell_rngs.reserve(levels.size());
+          for (std::size_t c = 0; c < levels.size(); ++c) cell_rngs.push_back(rng.split());
+          std::vector<oxram::FastCell*> cell_ptrs(levels.size());
+          std::vector<Rng*> rng_ptrs(levels.size());
+          for (std::size_t c = 0; c < levels.size(); ++c) {
+            cell_ptrs[c] = &cells[c];
+            rng_ptrs[c] = &cell_rngs[c];
+          }
+          const std::vector<mlc::ProgramOutcome> programmed =
+              programmer_.program_word(cell_ptrs, levels, rng_ptrs);
+          WordSampleOutcome& outcome = outcomes[i];
+          for (std::size_t c = 0; c < programmed.size(); ++c) {
+            const mlc::ProgramOutcome& cell_outcome = programmed[c];
+            outcome.latency_s = std::max(outcome.latency_s, cell_outcome.latency);
+            outcome.energy_j += cell_outcome.energy + cell_outcome.set_energy;
+            if (!cell_outcome.terminated) ++outcome.unterminated;
+            if (programmer_.read_level(cells[c], cell_rngs[c]) != levels[c]) {
+              ++outcome.decode_errors;
+            }
+          }
+        }
+      });
+  report.samples = samples.size();
+  report.cells = samples.size() * geometry_.cells_per_word;
+  for (const WordSampleOutcome& outcome : outcomes) {
+    report.decode_errors += outcome.decode_errors;
+    report.unterminated += outcome.unterminated;
+    report.mean_latency_s += outcome.latency_s;
+    report.max_latency_s = std::max(report.max_latency_s, outcome.latency_s);
+    report.mean_energy_j += outcome.energy_j;
+  }
+  report.mean_latency_s /= static_cast<double>(samples.size());
+  report.mean_energy_j /= static_cast<double>(samples.size());
+  return report;
+}
+
+MnaTierReport FidelityEngine::run_mna_tier(std::span<const WordSample> samples) const {
+  MnaTierReport report;
+  for (const WordSample& sample : samples) {
+    const std::vector<std::size_t> levels = levels_for(sample.data);
+    const std::size_t deepest = *std::max_element(levels.begin(), levels.end());
+    array::WritePathConfig wp;
+    wp.cell = study_.nominal;
+    wp.iref = study_.qlc.allocation.levels[deepest].iref;
+    // Stretch the plateau past the deepest level's ~4 us termination so the
+    // comparator, not the horizon, ends the pulse.
+    wp.pulse_width = 4.5e-6;
+    wp.t_stop = 4.8e-6;
+    array::WritePathResult result = array::WritePath(wp).run();
+    ++report.samples;
+    if (result.terminated) ++report.terminated;
+    report.mean_t_terminate_s += result.t_terminate;
+    report.mean_energy_j += result.energy_source;
+  }
+  if (report.samples > 0) {
+    report.mean_t_terminate_s /= static_cast<double>(report.samples);
+    report.mean_energy_j /= static_cast<double>(report.samples);
+  }
+  return report;
+}
+
+WitnessReport FidelityEngine::run_witness(std::span<const WordSample> samples) const {
+  WitnessReport report;
+  if (!config_.witness_tier) return report;
+  array::FastArray witness(config_.witness_rows, geometry_.cells_per_word, study_.nominal,
+                           study_.variability, study_.stack, config_.seed ^ 0x57495453ull);
+  mlc::MemoryController controller(witness, programmer_);
+  reliability::ReliabilityConfig rel_config;
+  rel_config.seed = config_.seed ^ 0x52454C49ull;
+  reliability::ReliabilityEngine engine(witness, rel_config);
+  controller.attach_reliability(&engine);
+  controller.form();
+  // Program all rows but the last from sampled payloads (or a seeded stream
+  // when the trace carried no writes); the last row stays unwritten so the
+  // scrub loop's words_skipped accounting is always exercised.
+  Rng fallback(config_.seed ^ 0x46414C4Cull);
+  const std::size_t written_rows = config_.witness_rows - 1;
+  for (std::size_t row = 0; row < written_rows; ++row) {
+    const std::uint64_t data =
+        samples.empty() ? fallback.next_u64() : samples[row % samples.size()].data;
+    controller.write_word_levels(row, levels_for(data));
+    ++report.words_written;
+  }
+  for (std::size_t epoch = 0; epoch < config_.witness_scrub_epochs; ++epoch) {
+    engine.advance(config_.witness_bake_s);
+    const mlc::ScrubStats stats = controller.scrub_all();
+    report.scrub_words += stats.words;
+    report.cells_checked += stats.cells_checked;
+    report.cells_scrubbed += stats.cells_scrubbed;
+    report.words_skipped += stats.words_skipped;
+    report.scrub_energy_j += stats.energy;
+  }
+  return report;
+}
+
+}  // namespace oxmlc::memsys

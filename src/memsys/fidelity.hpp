@@ -1,0 +1,126 @@
+// Tiered fidelity: which physics backs which access of a replayed trace.
+//
+// A multi-GB trace cannot run every write through the calibrated device
+// models, and does not need to — the scheduler's behavioral timing covers the
+// bulk. What the system tier must NOT lose is the connection to the physics,
+// so a deterministic sample of accesses is re-executed at higher fidelity:
+//
+//   tier 0 (behavioral)  every request: TimingParams service times in the
+//                        CommandScheduler; no device state.
+//   tier 1 (word)        every word_sample_period-th retired write, capped at
+//                        word_max_samples: the word is programmed through
+//                        QlcProgrammer::program_word (the SIMD CellBatch SET +
+//                        terminated-RST kernel) on freshly D2D-sampled cells,
+//                        then read back through the real sense path — giving
+//                        physical latency/energy distributions and decode
+//                        error counts for the replayed payloads.
+//   tier 2 (MNA)         every mna_sample_period-th retired write, capped at
+//                        mna_max_samples: the full transistor-level write
+//                        path (array::WritePath — SL driver, parasitics,
+//                        access NMOS, termination comparator) integrates one
+//                        terminated RESET to the word's deepest level.
+//   witness (reliability) a small FastArray + MemoryController +
+//                        ReliabilityEngine carries sampled payloads through
+//                        accelerated retention bakes and scrub_all() rounds —
+//                        the physics behind the scheduler's scrub slots.
+//
+// Determinism contract: tier-1 samples are evaluated through
+// util::parallel_for, and every sample's entire state — device parameters,
+// program/read randomness — derives from mc::trial_rng(config.seed,
+// trace_index) alone. Results land in an index-addressed vector and are
+// reduced sequentially, so reports are bit-identical at any thread count
+// (pinned by the memsys determinism test at 1/2/8 threads). Tier 2 and the
+// witness are sequential and RNG-seeded, hence trivially deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "memsys/geometry.hpp"
+#include "mlc/mc_study.hpp"
+
+namespace oxmlc::memsys {
+
+struct FidelityConfig {
+  bool word_tier = true;
+  std::size_t word_sample_period = 50'000;  // every Nth retired write
+  std::size_t word_max_samples = 64;
+  bool mna_tier = true;
+  std::size_t mna_sample_period = 400'000;
+  std::size_t mna_max_samples = 2;
+  bool witness_tier = true;
+  std::size_t witness_rows = 4;        // words in the reliability witness array
+  std::size_t witness_scrub_epochs = 2;
+  double witness_bake_s = 1e6;         // accelerated retention bake per epoch
+  std::uint64_t seed = 0x4D454D53ull;  // "MEMS"
+  std::size_t threads = 0;             // parallel_for workers for tier 1
+};
+
+// One sampled write: the trace position (the RNG index) and its payload.
+struct WordSample {
+  std::size_t trace_index = 0;
+  std::uint64_t data = 0;
+};
+
+struct WordTierReport {
+  std::size_t samples = 0;
+  std::size_t cells = 0;
+  std::size_t decode_errors = 0;   // read-back level != programmed level
+  std::size_t unterminated = 0;    // RST pulses that timed out
+  double mean_latency_s = 0.0;     // per-word slowest-bit termination time
+  double max_latency_s = 0.0;
+  double mean_energy_j = 0.0;      // per-word summed SET + RST energy
+};
+
+struct MnaTierReport {
+  std::size_t samples = 0;
+  std::size_t terminated = 0;
+  double mean_t_terminate_s = 0.0;
+  double mean_energy_j = 0.0;      // SL-driver source energy
+};
+
+struct WitnessReport {
+  std::size_t words_written = 0;
+  std::size_t scrub_words = 0;
+  std::size_t cells_checked = 0;
+  std::size_t cells_scrubbed = 0;  // drifted across a decode threshold
+  std::size_t words_skipped = 0;   // never-written words seen by scrub_all
+  double scrub_energy_j = 0.0;
+};
+
+class FidelityEngine {
+ public:
+  // Builds the calibrated QLC operating point (paper_mc_study) for the
+  // geometry's bits_per_cell once; sampling decisions and evaluation are
+  // methods on top.
+  FidelityEngine(const GeometryConfig& geometry, FidelityConfig config);
+
+  const FidelityConfig& config() const { return config_; }
+
+  // Sampling rule for the i-th retired write (0-based): deterministic in i.
+  bool is_word_sample(std::size_t write_ordinal) const;
+  bool is_mna_sample(std::size_t write_ordinal) const;
+
+  // Tier 1: parallel over samples, (seed, trace_index)-derived randomness.
+  WordTierReport run_word_tier(std::span<const WordSample> samples) const;
+
+  // Tier 2: sequential full-circuit transients (few samples by design).
+  MnaTierReport run_mna_tier(std::span<const WordSample> samples) const;
+
+  // Reliability witness: program sampled payloads into a small managed array,
+  // bake, scrub, repeat. Leaves at least one row never written so scrub_all's
+  // words_skipped accounting stays visibly exercised.
+  WitnessReport run_witness(std::span<const WordSample> samples) const;
+
+  // Per-cell level indices for a payload (bits_per_cell-wide fields).
+  std::vector<std::size_t> levels_for(std::uint64_t data) const;
+
+ private:
+  GeometryConfig geometry_;
+  FidelityConfig config_;
+  mlc::McStudyConfig study_;
+  mlc::QlcProgrammer programmer_;
+};
+
+}  // namespace oxmlc::memsys

@@ -1,0 +1,175 @@
+#include "memsys/geometry.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace oxmlc::memsys {
+
+void GeometryConfig::validate() const {
+  OXMLC_CHECK(channels > 0, "memsys geometry: CHANNELS must be positive");
+  OXMLC_CHECK(banks_per_channel > 0, "memsys geometry: BANKS must be positive");
+  OXMLC_CHECK(rows_per_bank > 0, "memsys geometry: ROWS must be positive");
+  OXMLC_CHECK(words_per_row > 0, "memsys geometry: WORDS_PER_ROW must be positive");
+  OXMLC_CHECK(cells_per_word > 0, "memsys geometry: CELLS_PER_WORD must be positive");
+  OXMLC_CHECK(bits_per_cell >= 1 && bits_per_cell <= 4,
+              "memsys geometry: BITS_PER_CELL must be in [1, 4], got " +
+                  std::to_string(bits_per_cell));
+  OXMLC_CHECK(cells_per_word * bits_per_cell % 8 == 0,
+              "memsys geometry: CELLS_PER_WORD x BITS_PER_CELL (" +
+                  std::to_string(cells_per_word) + " x " + std::to_string(bits_per_cell) +
+                  ") must be a whole number of bytes");
+  OXMLC_CHECK(timing.clk_mhz > 0.0, "memsys geometry: CLK_MHZ must be positive");
+  OXMLC_CHECK(timing.t_rcd > 0 && timing.t_cas > 0 && timing.t_burst > 0 && timing.t_rp > 0,
+              "memsys geometry: tRCD/tCAS/tBURST/tRP must all be positive");
+  OXMLC_CHECK(timing.t_wp_min > 0 && timing.t_wp_max >= timing.t_wp_min,
+              "memsys geometry: write pulse window requires 0 < tWP_MIN <= tWP_MAX, got [" +
+                  std::to_string(timing.t_wp_min) + ", " + std::to_string(timing.t_wp_max) +
+                  "]");
+  OXMLC_CHECK(timing.t_scrub > 0, "memsys geometry: tSCRUB must be positive");
+  OXMLC_CHECK(queue_depth > 0, "memsys geometry: QUEUE_DEPTH must be positive");
+}
+
+GeometryConfig GeometryConfig::rram_isscc_2012() {
+  GeometryConfig config;  // defaults ARE the ISSCC-2012 shape
+  config.validate();
+  return config;
+}
+
+DecodedAddress decode_address(const GeometryConfig& geometry, std::uint64_t address) {
+  const std::size_t bytes = geometry.bytes_per_access();
+  std::uint64_t word = (address / bytes) % geometry.capacity_words();
+  DecodedAddress decoded;
+  decoded.channel = static_cast<std::size_t>(word % geometry.channels);
+  word /= geometry.channels;
+  decoded.bank = static_cast<std::size_t>(word % geometry.banks_per_channel);
+  word /= geometry.banks_per_channel;
+  decoded.col = static_cast<std::size_t>(word % geometry.words_per_row);
+  word /= geometry.words_per_row;
+  decoded.row = static_cast<std::size_t>(word % geometry.rows_per_bank);
+  return decoded;
+}
+
+std::uint64_t encode_address(const GeometryConfig& geometry, const DecodedAddress& decoded) {
+  OXMLC_CHECK(decoded.channel < geometry.channels && decoded.bank < geometry.banks_per_channel &&
+                  decoded.row < geometry.rows_per_bank && decoded.col < geometry.words_per_row,
+              "memsys encode_address: decoded address (" + std::to_string(decoded.channel) +
+                  ", " + std::to_string(decoded.bank) + ", " + std::to_string(decoded.row) +
+                  ", " + std::to_string(decoded.col) + ") out of range for " +
+                  std::to_string(geometry.channels) + "x" +
+                  std::to_string(geometry.banks_per_channel) + "x" +
+                  std::to_string(geometry.rows_per_bank) + "x" +
+                  std::to_string(geometry.words_per_row) + " geometry");
+  std::uint64_t word = decoded.row;
+  word = word * geometry.words_per_row + decoded.col;
+  word = word * geometry.banks_per_channel + decoded.bank;
+  word = word * geometry.channels + decoded.channel;
+  return word * geometry.bytes_per_access();
+}
+
+namespace {
+
+std::uint64_t parse_u64_field(const std::string& key, const std::string& value,
+                              std::size_t line_no) {
+  std::size_t consumed = 0;
+  std::uint64_t parsed = 0;
+  try {
+    parsed = std::stoull(value, &consumed, 0);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  OXMLC_CHECK(consumed == value.size(), "memsys config line " + std::to_string(line_no) + ": " +
+                                            key + " expects an unsigned integer, got '" +
+                                            value + "'");
+  return parsed;
+}
+
+double parse_double_field(const std::string& key, const std::string& value,
+                          std::size_t line_no) {
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  OXMLC_CHECK(consumed == value.size(), "memsys config line " + std::to_string(line_no) + ": " +
+                                            key + " expects a number, got '" + value + "'");
+  return parsed;
+}
+
+}  // namespace
+
+GeometryConfig parse_memsys_config(const std::string& text) {
+  GeometryConfig config = GeometryConfig::rram_isscc_2012();
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::size_t comment = line.find_first_of(";#");
+    if (comment != std::string::npos) line.resize(comment);
+    std::istringstream fields(line);
+    std::string key;
+    if (!(fields >> key)) continue;  // blank / comment-only line
+    std::string value;
+    OXMLC_CHECK(static_cast<bool>(fields >> value),
+                "memsys config line " + std::to_string(line_no) + ": key '" + key +
+                    "' is missing a value");
+    std::string extra;
+    OXMLC_CHECK(!(fields >> extra), "memsys config line " + std::to_string(line_no) +
+                                        ": unexpected trailing token '" + extra + "'");
+    if (key == "CHANNELS") {
+      config.channels = parse_u64_field(key, value, line_no);
+    } else if (key == "BANKS") {
+      config.banks_per_channel = parse_u64_field(key, value, line_no);
+    } else if (key == "ROWS") {
+      config.rows_per_bank = parse_u64_field(key, value, line_no);
+    } else if (key == "WORDS_PER_ROW" || key == "COLS") {
+      config.words_per_row = parse_u64_field(key, value, line_no);
+    } else if (key == "CELLS_PER_WORD") {
+      config.cells_per_word = parse_u64_field(key, value, line_no);
+    } else if (key == "BITS_PER_CELL") {
+      config.bits_per_cell = parse_u64_field(key, value, line_no);
+    } else if (key == "CLK_MHZ") {
+      config.timing.clk_mhz = parse_double_field(key, value, line_no);
+    } else if (key == "tRCD") {
+      config.timing.t_rcd = parse_u64_field(key, value, line_no);
+    } else if (key == "tCAS") {
+      config.timing.t_cas = parse_u64_field(key, value, line_no);
+    } else if (key == "tBURST") {
+      config.timing.t_burst = parse_u64_field(key, value, line_no);
+    } else if (key == "tRP") {
+      config.timing.t_rp = parse_u64_field(key, value, line_no);
+    } else if (key == "tWP_MIN") {
+      config.timing.t_wp_min = parse_u64_field(key, value, line_no);
+    } else if (key == "tWP_MAX") {
+      config.timing.t_wp_max = parse_u64_field(key, value, line_no);
+    } else if (key == "tSCRUB") {
+      config.timing.t_scrub = parse_u64_field(key, value, line_no);
+    } else if (key == "QUEUE_DEPTH") {
+      config.queue_depth = parse_u64_field(key, value, line_no);
+    } else if (key == "SCRUB_INTERVAL") {
+      config.scrub_interval_cycles = parse_u64_field(key, value, line_no);
+    } else if (key == "ROTATE_EVERY_WRITES") {
+      config.rotate_every_writes = parse_u64_field(key, value, line_no);
+    } else {
+      throw InvalidArgumentError("memsys config line " + std::to_string(line_no) +
+                                 ": unknown key '" + key + "'");
+    }
+  }
+  config.validate();
+  return config;
+}
+
+GeometryConfig load_memsys_config(const std::string& path) {
+  std::ifstream file(path);
+  OXMLC_CHECK(file.good(), "memsys config: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_memsys_config(buffer.str());
+}
+
+}  // namespace oxmlc::memsys

@@ -1,0 +1,88 @@
+// Command scheduler: per-bank queues, bank-level parallelism, FR-FCFS.
+//
+// The scheduler replays a time-sorted request stream against the configured
+// geometry and produces per-request latencies plus per-bank statistics. It is
+// an event-driven behavioral model — no device physics here (that is the
+// fidelity tier's job); service times come from TimingParams:
+//
+//   * open-row policy: each bank keeps its last-activated row open. A request
+//     to the open row is a ROW HIT (tCAS for reads, tWP(level) for writes); a
+//     request with no open row is a ROW MISS (tRCD + access); a request to a
+//     different row is a ROW CONFLICT (tRP + tRCD + access).
+//   * FR-FCFS arbitration: among queued requests for a free bank, the oldest
+//     request hitting the open row is issued first; if none hit, the oldest
+//     request overall (first-ready, first-come-first-served).
+//   * write service time is level-dependent: the terminated RESET pulse runs
+//     until the deepest level in the word verifies, so tWP interpolates
+//     between tWP_MIN and tWP_MAX by the deepest (highest) level encoded in
+//     the payload — the system-level image of the paper's Fig. 7 latency
+//     spread.
+//   * channel sharing: banks on one channel share the data bus; each access
+//     occupies it for tBURST cycles (at the end of a read, the start of a
+//     write), serialized per channel.
+//   * maintenance: every scrub_interval_cycles each bank is issued a scrub
+//     command (tSCRUB busy, closes the row); every rotate_every_writes
+//     retired writes the start-gap pointer advances, remapping rows of later
+//     arrivals by one — cheap wear leveling, counted in wear_rotations.
+//
+// The loop is strictly sequential and deterministic: identical trace +
+// geometry always gives identical latencies and counters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "memsys/geometry.hpp"
+#include "memsys/trace.hpp"
+
+namespace oxmlc::memsys {
+
+struct BankStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t scrubs = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t row_conflicts = 0;
+  std::uint64_t busy_cycles = 0;   // cycles the bank spent servicing commands
+  std::size_t max_queue_depth = 0;
+};
+
+struct ScheduleResult {
+  // Latency (completion - arrival, in cycles) per request, in trace order.
+  std::vector<std::uint64_t> latency_cycles;
+  std::vector<BankStats> banks;     // indexed channel * banks_per_channel + bank
+  std::uint64_t requests_retired = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t scrub_commands = 0;
+  std::uint64_t wear_rotations = 0;
+  std::uint64_t queue_stall_cycles = 0;  // admission blocked on a full queue
+  std::uint64_t total_cycles = 0;        // completion time of the last command
+};
+
+// Deepest (slowest-to-terminate) level encoded in a write payload: the word's
+// cells take bits_per_cell-wide fields from the low bits of `data`, and the
+// RESET pulse runs until the deepest of them verifies.
+std::size_t deepest_level(const GeometryConfig& geometry, std::uint64_t data);
+
+// Write service cycles for a payload: tWP_MIN..tWP_MAX interpolated by
+// deepest_level / (levels - 1).
+std::uint64_t write_pulse_cycles(const GeometryConfig& geometry, std::uint64_t data);
+
+class CommandScheduler {
+ public:
+  explicit CommandScheduler(GeometryConfig geometry);
+
+  // Replays a time-sorted trace to completion. Throws InvalidArgumentError if
+  // arrival cycles decrease.
+  ScheduleResult run(std::span<const TraceRequest> trace);
+
+  const GeometryConfig& geometry() const { return geometry_; }
+
+ private:
+  GeometryConfig geometry_;
+};
+
+}  // namespace oxmlc::memsys

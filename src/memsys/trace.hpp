@@ -1,0 +1,65 @@
+// Trace front-end: gem5/NVMain-style timed request streams.
+//
+// Text format, one request per line:
+//
+//     <cycle> <R|W> <address> [<data>] [<thread>]
+//
+//   * cycle   — arrival time in memory cycles, non-decreasing;
+//   * R|W     — read or write (also accepts READ/WRITE, case-insensitive);
+//   * address — byte address, decimal or 0x-hex;
+//   * data    — optional payload (decimal or hex); writes use it to derive
+//               per-cell MLC levels, reads ignore it;
+//   * thread  — optional originator id, accepted and ignored (gem5 emits it).
+//
+// `#` and `;` start comments. Parse errors carry the 1-based line number.
+//
+// `synthesize_trace` builds the deterministic workload used by the acceptance
+// run and the bench: a mix of sequential bursts (striding across channels)
+// and uniform-random single accesses, with a configurable write fraction.
+// Everything derives from oxmlc::Rng(seed), so the same seed always yields
+// the same byte-identical trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "memsys/geometry.hpp"
+
+namespace oxmlc::memsys {
+
+struct TraceRequest {
+  std::uint64_t cycle = 0;    // arrival time in memory cycles
+  bool is_write = false;
+  std::uint64_t address = 0;  // byte address
+  std::uint64_t data = 0;     // write payload (level source); 0 for reads
+
+  bool operator==(const TraceRequest&) const = default;
+};
+
+// Parse a whole trace; throws InvalidArgumentError with the line number on
+// malformed input (bad opcode, non-numeric field, decreasing cycles).
+std::vector<TraceRequest> parse_trace(std::istream& stream);
+std::vector<TraceRequest> parse_trace_text(const std::string& text);
+std::vector<TraceRequest> load_trace(const std::string& path);
+
+struct SyntheticTraceOptions {
+  std::size_t requests = 1'000'000;
+  double write_fraction = 0.5;       // P(request is a write)
+  double sequential_fraction = 0.7;  // P(request continues a sequential burst)
+  std::size_t burst_length = 64;     // accesses per sequential burst
+  std::uint64_t mean_gap_cycles = 8; // mean inter-arrival gap
+  std::uint64_t seed = 0x7261CEull;
+};
+
+// Deterministic synthetic workload for the given geometry (addresses are
+// in-capacity and word-aligned). Same options -> identical trace.
+std::vector<TraceRequest> synthesize_trace(const GeometryConfig& geometry,
+                                           const SyntheticTraceOptions& options);
+
+// Write requests in the text format above (round-trips through parse_trace).
+void write_trace(std::ostream& stream, const std::vector<TraceRequest>& trace);
+void save_trace(const std::string& path, const std::vector<TraceRequest>& trace);
+
+}  // namespace oxmlc::memsys

@@ -163,11 +163,15 @@ std::vector<std::size_t> MemoryController::read_word_levels(std::size_t row) {
 }
 
 ScrubStats MemoryController::scrub_word(std::size_t row) {
-  OXMLC_CHECK(row < array_.rows(), "scrub_word: row out of range");
+  OXMLC_CHECK(row < array_.rows(),
+              "scrub_word: word (" + std::to_string(row) + ", 0) out of range for " +
+                  std::to_string(array_.rows()) + "x" + std::to_string(array_.cols()) +
+                  " array");
   ScrubStats stats;
   const std::vector<std::size_t>& expected = written_levels_[row];
   if (expected.empty()) {
-    return stats;  // nothing recorded for this word
+    ++stats.words_skipped;  // never written through this controller
+    return stats;
   }
   ControllerMetrics& metrics = ControllerMetrics::get();
   ++stats.words;
@@ -191,6 +195,7 @@ ScrubStats MemoryController::scrub_all() {
   for (std::size_t row = 0; row < array_.rows(); ++row) {
     const ScrubStats stats = scrub_word(row);
     total.words += stats.words;
+    total.words_skipped += stats.words_skipped;
     total.cells_checked += stats.cells_checked;
     total.cells_scrubbed += stats.cells_scrubbed;
     total.energy += stats.energy;

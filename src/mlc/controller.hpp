@@ -60,6 +60,7 @@ struct VerifyPolicy {
 
 struct ScrubStats {
   std::size_t words = 0;          // words re-sensed
+  std::size_t words_skipped = 0;  // words never written, hence not re-sensed
   std::size_t cells_checked = 0;
   std::size_t cells_scrubbed = 0; // cells found out of band and re-terminated
   double energy = 0.0;            // SET + RST energy of the re-programs
@@ -92,8 +93,10 @@ class MemoryController {
 
   // Scrub: re-sense a previously written word against its recorded levels and
   // re-terminate any cell that drifted across a decode threshold. Words never
-  // written through this controller are skipped (scrub_all) or a no-op
-  // (scrub_word). Requires an attached reliability engine only for the event
+  // written through this controller are not re-sensed; they are counted in
+  // ScrubStats::words_skipped so a scrub pass over a sparsely-written array
+  // stays auditable. Out-of-range rows throw with the (row, col) + dims
+  // phrasing of FastArray::at(). Requires an attached reliability engine only for the event
   // notifications — the decode itself is the ordinary read path.
   ScrubStats scrub_word(std::size_t row);
   ScrubStats scrub_all();

@@ -143,8 +143,16 @@ EccDecodeResult secded_decode(const SecdedWord& word) {
   if (parity_bad) {
     // Odd number of flips: treat as a single error. syndrome == 0 means the
     // overall-parity bit itself flipped; otherwise syndrome names the bit.
+    // An odd >=3-bit corruption can XOR to a syndrome with no codeword
+    // position (72..127, e.g. flips at 64+32+16 -> 112); that is provably not
+    // a single-bit error, so report it uncorrectable instead of "correcting"
+    // a phantom position (or crashing — a decoder must accept any input).
     const unsigned position = syndrome;  // 0 = parity bit
-    OXMLC_CHECK(position <= 71, "SECDED: syndrome outside codeword");
+    if (position > 71) {
+      result.data = extract_data(cw);
+      result.status = EccStatus::kDetectedDouble;
+      return result;
+    }
     cw.set(position, !cw.get(position));
     result.data = extract_data(cw);
     result.status = EccStatus::kCorrectedSingle;

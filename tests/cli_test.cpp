@@ -1,0 +1,132 @@
+// Black-box CLI contract for the oxmlc_sim driver (satellite of the memsys
+// PR): bad invocations — unknown flags, missing or malformed arguments,
+// unreadable inputs — must print usage and exit 2, never escape an uncaught
+// exception; good trace-mode invocations must exit 0 and emit the
+// oxmlc.memsys.v1 report schema.
+//
+// The tests exec the real binary (path injected by CMake as OXMLC_SIM_PATH)
+// through /bin/sh, capturing exit status and combined output. When tools are
+// not built (OXMLC_BUILD_EXAMPLES=OFF) the whole suite skips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace oxmlc {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr combined
+};
+
+#ifdef OXMLC_SIM_PATH
+
+RunResult run_sim(const std::string& arguments) {
+  const std::string command =
+      std::string("'") + OXMLC_SIM_PATH + "' " + arguments + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (std::size_t n = fread(buffer, 1, sizeof(buffer), pipe)) {
+    result.output.append(buffer, n);
+    if (n < sizeof(buffer)) break;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string temp_path(const std::string& name) {
+  const char* base = std::getenv("TMPDIR");
+  return std::string(base != nullptr ? base : "/tmp") + "/" + name;
+}
+
+TEST(CliContract, UnknownFlagPrintsUsageAndExits2) {
+  const RunResult result = run_sim("--frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("--frobnicate"), std::string::npos) << result.output;
+}
+
+TEST(CliContract, MissingFlagArgumentExits2) {
+  for (const std::string flag : {"--trace", "--bits", "--seed", "--geometry"}) {
+    const RunResult result = run_sim(flag);
+    EXPECT_EQ(result.exit_code, 2) << flag << "\n" << result.output;
+    EXPECT_NE(result.output.find("usage"), std::string::npos) << flag;
+  }
+}
+
+TEST(CliContract, MalformedNumericValueExits2) {
+  const RunResult result = run_sim("--trace-synth banana");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("usage"), std::string::npos) << result.output;
+}
+
+TEST(CliContract, UnreadableTraceFileExits2) {
+  const RunResult result = run_sim("--trace /nonexistent/requests.trc");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("usage"), std::string::npos) << result.output;
+}
+
+TEST(CliContract, UnreadableNetlistExits2) {
+  const RunResult result = run_sim("/nonexistent/cell.sp");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("usage"), std::string::npos) << result.output;
+}
+
+TEST(CliContract, UnreadableGeometryConfigExits2) {
+  const RunResult result =
+      run_sim("--trace-synth 50 --geometry /nonexistent/geo.memcfg");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
+TEST(CliContract, TraceAndTraceSynthAreMutuallyExclusive) {
+  const RunResult result = run_sim("--trace x.trc --trace-synth 100");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
+TEST(CliContract, MalformedTraceContentFailsCleanlyNotWithATraceback) {
+  const std::string path = temp_path("oxmlc_cli_bad.trc");
+  std::ofstream(path) << "0 R 0x10\n1 X 0x20\n";
+  const RunResult result = run_sim("--trace '" + path + "'");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.exit_code, -1) << "killed by signal: uncaught exception?";
+  EXPECT_NE(result.output.find("2"), std::string::npos)
+      << "error should carry the line number:\n"
+      << result.output;
+  std::remove(path.c_str());
+}
+
+TEST(CliContract, SyntheticTraceReplayEmitsTheMemsysSchema) {
+  const std::string report_path = temp_path("oxmlc_cli_report.json");
+  const RunResult result =
+      run_sim("--trace-synth 400 --threads 2 --report '" + report_path + "'");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("retired"), std::string::npos) << result.output;
+
+  std::ifstream in(report_path);
+  ASSERT_TRUE(in.good()) << "report not written: " << report_path;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const obs::Json document = obs::Json::parse(text);
+  EXPECT_EQ(document.get("schema").as_string(), "oxmlc.memsys.v1");
+  EXPECT_EQ(document.get("schedule").get("requests_retired").as_number(), 400.0);
+  std::remove(report_path.c_str());
+}
+
+#else  // !OXMLC_SIM_PATH
+
+TEST(CliContract, SkippedWithoutTheSimBinary) {
+  GTEST_SKIP() << "oxmlc_sim not built (OXMLC_BUILD_EXAMPLES=OFF)";
+}
+
+#endif
+
+}  // namespace
+}  // namespace oxmlc

@@ -79,5 +79,51 @@ TEST_F(ControllerFixture, LevelVectorArityChecked) {
   EXPECT_THROW(controller.write_word_levels(0, wrong), InvalidArgumentError);
 }
 
+// ---------------------------------------------------------------------------
+// Scrub edge behavior (regression coverage for scrub_word / scrub_all)
+// ---------------------------------------------------------------------------
+
+TEST_F(ControllerFixture, ScrubWordOutOfRangeNamesIndexAndDims) {
+  // The error must carry the (row, col) + dims phrasing of FastArray::at() so
+  // an operator can tell WHICH access failed against WHICH geometry.
+  try {
+    controller.scrub_word(17);
+    FAIL() << "scrub_word(17) on a 4-word array did not throw";
+  } catch (const InvalidArgumentError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("(17, 0)"), std::string::npos) << message;
+    EXPECT_NE(message.find("4x8"), std::string::npos) << message;
+    EXPECT_NE(message.find("out of range"), std::string::npos) << message;
+  }
+}
+
+TEST_F(ControllerFixture, ScrubWordCountsNeverWrittenAsSkipped) {
+  const ScrubStats skipped = controller.scrub_word(2);
+  EXPECT_EQ(skipped.words, 0u);
+  EXPECT_EQ(skipped.words_skipped, 1u);
+  EXPECT_EQ(skipped.cells_checked, 0u);
+  EXPECT_EQ(skipped.cells_scrubbed, 0u);
+  EXPECT_EQ(skipped.energy, 0.0);
+}
+
+TEST_F(ControllerFixture, ScrubAllSeparatesVisitedFromSkipped) {
+  controller.write_word(0, 0x13579BDFull);
+  controller.write_word(3, 0x2468ACE0ull);
+  const ScrubStats total = controller.scrub_all();
+  EXPECT_EQ(total.words, 2u);          // the two written rows were re-sensed
+  EXPECT_EQ(total.words_skipped, 2u);  // rows 1 and 2 visibly skipped
+  EXPECT_EQ(total.cells_checked, 2u * controller.cells_per_word());
+}
+
+TEST_F(ControllerFixture, ScrubbedWrittenWordIsCountedNotSkipped) {
+  controller.write_word(1, 0xFEEDF00Dull);
+  const ScrubStats stats = controller.scrub_word(1);
+  EXPECT_EQ(stats.words, 1u);
+  EXPECT_EQ(stats.words_skipped, 0u);
+  EXPECT_EQ(stats.cells_checked, controller.cells_per_word());
+  // Freshly written with no drift applied: nothing to re-terminate.
+  EXPECT_EQ(stats.cells_scrubbed, 0u);
+}
+
 }  // namespace
 }  // namespace oxmlc::mlc

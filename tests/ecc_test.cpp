@@ -93,6 +93,108 @@ TEST(Secded, DetectsDoubleErrorsWithoutMiscorrecting) {
 }
 
 // ---------------------------------------------------------------------------
+// Exhaustive corruption sweep over the stored codeword
+// ---------------------------------------------------------------------------
+
+// Flips codeword position `p` (0 = overall parity, powers of two = Hamming
+// check bits, everything else = data bits in layout order) in the stored
+// SecdedWord form, mirroring src/mlc/ecc.cpp's pack() layout.
+void flip_codeword_position(SecdedWord& word, unsigned p) {
+  ASSERT_LE(p, 71u);
+  if (p == 0) {  // overall parity lives at check bit 7
+    word.check = static_cast<std::uint8_t>(word.check ^ 0x80u);
+    return;
+  }
+  if ((p & (p - 1)) == 0) {  // power of two: Hamming check bit
+    unsigned bit = 0;
+    while ((1u << bit) != p) ++bit;
+    word.check = static_cast<std::uint8_t>(word.check ^ (1u << bit));
+    return;
+  }
+  unsigned k = 0;  // data bit index: non-power-of-two positions before p
+  for (unsigned q = 1; q < p; ++q) {
+    if ((q & (q - 1)) != 0) ++k;
+  }
+  word.data ^= std::uint64_t{1} << k;
+}
+
+TEST(SecdedSweep, CorrectsAll72SingleBitPositions) {
+  // Every codeword position — data bits, check-bit-only corruptions, and the
+  // overall-parity-only corruption — must decode as kCorrectedSingle with the
+  // payload recovered and the corrected position named.
+  Rng rng(6);
+  const std::array<std::uint64_t, 4> payloads = {0ull, ~0ull, 0x0123456789ABCDEFull,
+                                                 rng.next_u64()};
+  for (const std::uint64_t payload : payloads) {
+    for (unsigned p = 0; p <= 71; ++p) {
+      SecdedWord word = secded_encode(payload);
+      flip_codeword_position(word, p);
+      const EccDecodeResult result = secded_decode(word);
+      EXPECT_EQ(result.status, EccStatus::kCorrectedSingle) << "position " << p;
+      EXPECT_EQ(result.data, payload) << "position " << p;
+      ASSERT_TRUE(result.corrected_bit.has_value()) << "position " << p;
+      EXPECT_EQ(*result.corrected_bit, p);
+    }
+  }
+}
+
+TEST(SecdedSweep, DetectsEveryDoubleBitCombination) {
+  // The full 72x72 double-bit grid (2556 pairs), including check+check,
+  // check+parity and data+check mixes the sampled data-only test misses.
+  const std::uint64_t payload = 0xDEADBEEFCAFEF00Dull;
+  for (unsigned a = 0; a <= 71; ++a) {
+    for (unsigned b = a + 1; b <= 71; ++b) {
+      SecdedWord word = secded_encode(payload);
+      flip_codeword_position(word, a);
+      flip_codeword_position(word, b);
+      const EccDecodeResult result = secded_decode(word);
+      EXPECT_EQ(result.status, EccStatus::kDetectedDouble) << a << "," << b;
+    }
+  }
+}
+
+TEST(SecdedSweep, OddMultiBitCorruptionWithPhantomSyndromeIsUncorrectable) {
+  // Regression: flipping the check bits at positions 16, 32 and 64 XORs to
+  // syndrome 112 — a position that does not exist in the 72-bit codeword.
+  // secded_decode used to fail an internal OXMLC_CHECK on this input; it must
+  // classify the word as uncorrectable instead (a decoder accepts any bits).
+  SecdedWord word = secded_encode(0x5A5A5A5A5A5A5A5Aull);
+  flip_codeword_position(word, 16);
+  flip_codeword_position(word, 32);
+  flip_codeword_position(word, 64);
+  const EccDecodeResult result = secded_decode(word);
+  EXPECT_EQ(result.status, EccStatus::kDetectedDouble);
+}
+
+TEST(SecdedSweep, RandomMultiBitCorruptionNeverThrowsOrReadsClean) {
+  // 3- and 5-bit corruptions are beyond SECDED's guarantee (odd counts can
+  // miscorrect), but the decoder must always return — never throw — and can
+  // never call a corrupted word clean (an odd flip count breaks parity, an
+  // even one leaves a nonzero syndrome).
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t payload = rng.next_u64();
+    SecdedWord word = secded_encode(payload);
+    const unsigned flips = rng.uniform() < 0.5 ? 3 : 5;
+    std::array<unsigned, 5> chosen{};
+    for (unsigned f = 0; f < flips; ++f) {
+      unsigned p = 0;
+      bool fresh = false;
+      while (!fresh) {
+        p = static_cast<unsigned>(rng.uniform_index(72));
+        fresh = true;
+        for (unsigned g = 0; g < f; ++g) fresh = fresh && chosen[g] != p;
+      }
+      chosen[f] = p;
+      flip_codeword_position(word, p);
+    }
+    EccDecodeResult result;
+    ASSERT_NO_THROW(result = secded_decode(word)) << trial;
+    EXPECT_NE(result.status, EccStatus::kClean) << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // end-to-end: Gray + SECDED over a QLC word with an injected level slip
 // ---------------------------------------------------------------------------
 

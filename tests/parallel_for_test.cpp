@@ -129,6 +129,105 @@ TEST(ParallelFor, ContextFactoryExceptionPropagates) {
 }
 
 // ---------------------------------------------------------------------------
+// Re-entrancy: the memsys scheduler's usage pattern (an outer tick loop whose
+// body dispatches a batched word write through a nested parallel_for)
+// ---------------------------------------------------------------------------
+
+TEST(ParallelFor, ReentrantNestedLoopsCoverBothIndexSpaces) {
+  // Outer "scheduler ticks" over 16 words; each tick fans a nested
+  // parallel_for over the word's 8 "bit lines". Every (word, lane) pair must
+  // execute exactly once regardless of either pool's thread count — the inner
+  // pool spawns its own workers and must not interfere with the outer claims.
+  constexpr std::size_t kWords = 16;
+  constexpr std::size_t kLanes = 8;
+  for (std::size_t outer_threads : {std::size_t{1}, std::size_t{4}}) {
+    for (std::size_t inner_threads : {std::size_t{1}, std::size_t{3}}) {
+      std::vector<std::atomic<int>> visits(kWords * kLanes);
+      for (auto& v : visits) v.store(0);
+      util::ParallelForOptions outer;
+      outer.threads = outer_threads;
+      outer.chunk = 1;
+      util::parallel_for(kWords, outer, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t word = begin; word < end; ++word) {
+          util::ParallelForOptions inner;
+          inner.threads = inner_threads;
+          inner.chunk = 1;
+          util::parallel_for(kLanes, inner, [&](std::size_t lane_begin, std::size_t lane_end) {
+            for (std::size_t lane = lane_begin; lane < lane_end; ++lane) {
+              visits[word * kLanes + lane].fetch_add(1);
+            }
+          });
+        }
+      });
+      for (std::size_t i = 0; i < visits.size(); ++i) {
+        ASSERT_EQ(visits[i].load(), 1)
+            << "outer=" << outer_threads << " inner=" << inner_threads << " cell=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, ReentrantNestedResultsBitIdenticalAcrossThreadCounts) {
+  // The determinism contract must survive nesting: a (seed, index)-keyed body
+  // inside a nested pool yields the same bytes for any (outer, inner) thread
+  // combination.
+  const auto run = [](std::size_t outer_threads, std::size_t inner_threads) {
+    constexpr std::size_t kWords = 12;
+    constexpr std::size_t kLanes = 6;
+    std::vector<std::uint64_t> out(kWords * kLanes, 0);
+    util::ParallelForOptions outer;
+    outer.threads = outer_threads;
+    util::parallel_for(kWords, outer, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t word = begin; word < end; ++word) {
+        util::ParallelForOptions inner;
+        inner.threads = inner_threads;
+        util::parallel_for(kLanes, inner, [&](std::size_t lane_begin, std::size_t lane_end) {
+          for (std::size_t lane = lane_begin; lane < lane_end; ++lane) {
+            Rng rng = mc::trial_rng(0xFEEDull, word * kLanes + lane);
+            out[word * kLanes + lane] = rng.next_u64() ^ rng.next_u64();
+          }
+        });
+      }
+    });
+    return out;
+  };
+  const std::vector<std::uint64_t> reference = run(1, 1);
+  EXPECT_EQ(run(2, 1), reference);
+  EXPECT_EQ(run(1, 4), reference);
+  EXPECT_EQ(run(4, 2), reference);
+  EXPECT_EQ(run(8, 8), reference);
+}
+
+TEST(ParallelFor, ExceptionInNestedInnerLoopPropagatesThroughOuterPool) {
+  // A worker task that itself runs a parallel_for must surface the inner
+  // loop's first exception through BOTH pools to the original caller, and the
+  // outer pool must stop claiming new ticks afterwards.
+  for (std::size_t outer_threads : {std::size_t{1}, std::size_t{4}}) {
+    util::ParallelForOptions outer;
+    outer.threads = outer_threads;
+    outer.chunk = 1;
+    std::atomic<int> outer_ticks{0};
+    EXPECT_THROW(
+        util::parallel_for(1000, outer,
+                           [&](std::size_t begin, std::size_t) {
+                             outer_ticks.fetch_add(1);
+                             util::ParallelForOptions inner;
+                             inner.threads = 2;
+                             inner.chunk = 1;
+                             util::parallel_for(
+                                 8, inner, [&](std::size_t lane, std::size_t) {
+                                   if (begin >= 2 && lane >= 4) {
+                                     throw std::runtime_error("lane fault");
+                                   }
+                                 });
+                           }),
+        std::runtime_error)
+        << "outer=" << outer_threads;
+    EXPECT_LT(outer_ticks.load(), 1000) << "outer=" << outer_threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Call-site bit-identity at 1 / 2 / 8 threads
 // ---------------------------------------------------------------------------
 

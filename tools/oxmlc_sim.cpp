@@ -10,6 +10,11 @@
 //             --seed 7 --report r.json           retention sweep (drift + verify
 //                                                comparison + scrub demo) as
 //                                                oxmlc.retention.v1 JSON
+//   oxmlc_sim --trace requests.trc               memory-system trace replay
+//             --geometry sys.memcfg              (banks/channels scheduler +
+//             --report replay.json               tiered-fidelity physics) as
+//                                                oxmlc.memsys.v1 JSON
+//   oxmlc_sim --trace-synth 1000000 --threads 8  synthetic-workload replay
 //   oxmlc_sim --lint netlist.cir                 static analysis only (no solve)
 //   oxmlc_sim --lint placement.mlc               MLC configuration lint (OXC0xx)
 //   oxmlc_sim --lint --bits 4                    lint the built-in paper placement
@@ -31,6 +36,7 @@
 
 #include "array/write_path.hpp"
 #include "devices/sources.hpp"
+#include "memsys/replay.hpp"
 #include "mlc/analyze/config_lint.hpp"
 #include "mlc/controller.hpp"
 #include "mlc/mc_study.hpp"
@@ -59,6 +65,11 @@ struct CliOptions {
   bool json = false;
   bool qlc = false;
   bool retention = false;
+  std::string trace_path;
+  std::size_t trace_synth = 0;   // synthesize this many requests instead
+  std::string trace_out;         // write the synthesized trace here
+  std::string geometry_path;     // .memcfg; empty = built-in ISSCC-2012 shape
+  std::size_t threads = 0;       // fidelity-tier workers (0 = auto)
   std::size_t qlc_bits = 4;
   std::size_t qlc_trials = 50;
   bool seed_set = false;
@@ -96,10 +107,20 @@ struct CliOptions {
                "  --retention         retention sweep (no netlist): drift MC over decades\n"
                "                      of time, verify-off vs relaxation-aware verify,\n"
                "                      plus an array scrub demonstration\n"
+               "  --trace <file>      memory-system replay (no netlist): gem5-style timed\n"
+               "                      read/write requests through the banks/channels\n"
+               "                      scheduler with tiered-fidelity device physics\n"
+               "  --trace-synth <n>   replay a deterministic synthetic trace of n requests\n"
+               "                      instead of reading a file (--seed selects the stream)\n"
+               "  --trace-out <file>  write the synthesized trace (use with --trace-synth)\n"
+               "  --geometry <file>   trace mode: .memcfg geometry/timing (default: the\n"
+               "                      built-in NVMain RRAM ISSCC-2012 4-ch x 4-bank shape)\n"
+               "  --threads <n>       trace mode: fidelity-tier worker threads (0 = auto)\n"
                "  --bits <n>          QLC/retention mode: bits per cell (default 4)\n"
                "  --trials <n>        QLC/retention mode: MC trials per level (default 50)\n"
-               "  --seed <n>          QLC/retention mode: Monte-Carlo base seed\n"
-               "  --report <file>     retention mode: write the oxmlc.retention.v1 JSON\n"
+               "  --seed <n>          QLC/retention/trace mode: Monte-Carlo base seed\n"
+               "  --report <file>     retention mode: the oxmlc.retention.v1 JSON;\n"
+               "                      trace mode: the oxmlc.memsys.v1 JSON\n"
                "  --metrics <file>    export solver/MC telemetry as JSON\n";
   std::exit(2);
 }
@@ -112,16 +133,40 @@ CliOptions parse_cli(int argc, char** argv) {
       if (i + 1 >= argc) usage("missing value after " + arg);
       return argv[++i];
     };
+    // Numeric flag values: reject trailing garbage ("--trials 5x") and
+    // non-numbers ("--seed abc") with usage instead of silently parsing 0.
+    auto next_count = [&]() -> std::uint64_t {
+      const std::string value = next();
+      std::size_t consumed = 0;
+      std::uint64_t parsed = 0;
+      try {
+        parsed = std::stoull(value, &consumed, 0);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != value.size()) {
+        usage(arg + " expects an unsigned integer, got '" + value + "'");
+      }
+      return parsed;
+    };
+    auto next_value = [&]() -> double {
+      const std::string value = next();
+      try {
+        return spice::parse_value(value);
+      } catch (const oxmlc::Error&) {
+        usage(arg + " expects a number (SI suffixes ok), got '" + value + "'");
+      }
+    };
     if (arg == "--tran") {
       options.transient = true;
-      options.t_stop = spice::parse_value(next());
+      options.t_stop = next_value();
     } else if (arg == "--ac") {
       options.ac = true;
       options.ac_source = next();
-      options.f_start = spice::parse_value(next());
-      options.f_stop = spice::parse_value(next());
+      options.f_start = next_value();
+      options.f_stop = next_value();
     } else if (arg == "--dt-max") {
-      options.dt_max = spice::parse_value(next());
+      options.dt_max = next_value();
     } else if (arg == "--probe") {
       options.probes.push_back(next());
     } else if (arg == "--plot") {
@@ -138,12 +183,22 @@ CliOptions parse_cli(int argc, char** argv) {
       options.qlc = true;
     } else if (arg == "--retention") {
       options.retention = true;
+    } else if (arg == "--trace") {
+      options.trace_path = next();
+    } else if (arg == "--trace-synth") {
+      options.trace_synth = next_count();
+    } else if (arg == "--trace-out") {
+      options.trace_out = next();
+    } else if (arg == "--geometry") {
+      options.geometry_path = next();
+    } else if (arg == "--threads") {
+      options.threads = next_count();
     } else if (arg == "--bits") {
-      options.qlc_bits = std::strtoul(next().c_str(), nullptr, 10);
+      options.qlc_bits = next_count();
     } else if (arg == "--trials") {
-      options.qlc_trials = std::strtoul(next().c_str(), nullptr, 10);
+      options.qlc_trials = next_count();
     } else if (arg == "--seed") {
-      options.seed = std::strtoull(next().c_str(), nullptr, 10);
+      options.seed = next_count();
       options.seed_set = true;
     } else if (arg == "--report") {
       options.report_path = next();
@@ -157,8 +212,15 @@ CliOptions parse_cli(int argc, char** argv) {
       usage("multiple netlist files given");
     }
   }
+  const bool trace_mode = !options.trace_path.empty() || options.trace_synth > 0;
+  if (!options.trace_path.empty() && options.trace_synth > 0) {
+    usage("--trace and --trace-synth are mutually exclusive");
+  }
+  if (!options.trace_out.empty() && options.trace_synth == 0) {
+    usage("--trace-out requires --trace-synth");
+  }
   if (options.netlist_path.empty() && !options.qlc && !options.retention &&
-      !options.lint) {
+      !options.lint && !trace_mode) {
     usage("no netlist file given");
   }
   if (options.qlc || options.retention || (options.lint && options.netlist_path.empty())) {
@@ -308,6 +370,83 @@ int run_retention(const CliOptions& options) {
       return 1;
     }
     out << report.dump(2) << "\n";
+    std::cout << "[report written: " << options.report_path << "]\n";
+  }
+  return 0;
+}
+
+// Memory-system trace replay: the timed request stream through the
+// banks/channels command scheduler (behavioral tier) with the deterministic
+// word/MNA/witness fidelity samples evaluated through the calibrated device
+// models. `--report` writes the oxmlc.memsys.v1 document.
+int run_trace(const CliOptions& options) {
+  memsys::ReplayOptions replay;
+  if (!options.geometry_path.empty()) {
+    if (!std::ifstream(options.geometry_path).good()) {
+      usage("cannot open geometry config: " + options.geometry_path);
+    }
+    replay.geometry = memsys::load_memsys_config(options.geometry_path);
+  }
+  replay.threads = options.threads;
+
+  std::vector<memsys::TraceRequest> trace;
+  if (options.trace_synth > 0) {
+    memsys::SyntheticTraceOptions synth;
+    synth.requests = options.trace_synth;
+    if (options.seed_set) synth.seed = options.seed;
+    trace = memsys::synthesize_trace(replay.geometry, synth);
+    if (!options.trace_out.empty()) {
+      memsys::save_trace(options.trace_out, trace);
+      std::cout << "[trace written: " << options.trace_out << "]\n";
+    }
+  } else {
+    if (!std::ifstream(options.trace_path).good()) {
+      usage("cannot open trace: " + options.trace_path);
+    }
+    trace = memsys::load_trace(options.trace_path);
+  }
+  std::cout << "trace replay: " << trace.size() << " requests through "
+            << replay.geometry.channels << " channels x "
+            << replay.geometry.banks_per_channel << " banks ("
+            << replay.geometry.rows_per_bank << " rows x "
+            << replay.geometry.words_per_row << " words, "
+            << replay.geometry.bits_per_cell << " bits/cell)\n";
+
+  const memsys::MemsysReport report = memsys::replay_trace(trace, replay);
+
+  Table t({"quantity", "value"});
+  t.add_row({"requests retired", std::to_string(report.requests_retired)});
+  t.add_row({"reads / writes", std::to_string(report.reads) + " / " +
+                                   std::to_string(report.writes)});
+  t.add_row({"simulated time", format_si(report.simulated_seconds, "s", 4)});
+  t.add_row({"sustained bandwidth", format_scaled(report.sustained_mb_s, 1.0, 4) + " MB/s"});
+  t.add_row({"row hit rate", format_scaled(report.row_hit_rate, 1.0, 4)});
+  t.add_row({"mean bank occupancy", format_scaled(report.mean_bank_occupancy, 1.0, 4)});
+  t.add_row({"latency p50/p99/p999", format_si(report.latency.p50_ns * 1e-9, "s", 4) + " / " +
+                                         format_si(report.latency.p99_ns * 1e-9, "s", 4) +
+                                         " / " +
+                                         format_si(report.latency.p999_ns * 1e-9, "s", 4)});
+  t.add_row({"scrub commands", std::to_string(report.scrub_commands)});
+  t.add_row({"wear rotations", std::to_string(report.wear_rotations)});
+  t.add_row({"word-tier samples", std::to_string(report.word_tier.samples) + " (" +
+                                      std::to_string(report.word_tier.decode_errors) +
+                                      " decode errors)"});
+  t.add_row({"MNA-tier samples", std::to_string(report.mna_tier.samples) + " (" +
+                                     std::to_string(report.mna_tier.terminated) +
+                                     " terminated)"});
+  t.add_row({"witness scrubbed", std::to_string(report.witness.cells_scrubbed) + "/" +
+                                     std::to_string(report.witness.cells_checked) +
+                                     " cells"});
+  t.add_row({"wall time", format_si(report.wall_seconds, "s", 3)});
+  t.print(std::cout);
+
+  if (!options.report_path.empty()) {
+    std::ofstream out(options.report_path);
+    if (!out.good()) {
+      std::cerr << "cannot write report: " << options.report_path << "\n";
+      return 1;
+    }
+    out << memsys::to_json(report).dump(2) << "\n";
     std::cout << "[report written: " << options.report_path << "]\n";
   }
   return 0;
@@ -527,6 +666,9 @@ int main(int argc, char** argv) {
       return status;
     };
 
+    if (!options.trace_path.empty() || options.trace_synth > 0) {
+      return finish(run_trace(options));
+    }
     if (options.retention) return finish(run_retention(options));
     if (options.qlc) return finish(run_qlc(options));
     if (options.lint && options.netlist_path.empty()) {
@@ -535,8 +677,7 @@ int main(int argc, char** argv) {
 
     std::ifstream file(options.netlist_path);
     if (!file.good()) {
-      std::cerr << "cannot open netlist: " << options.netlist_path << "\n";
-      return 1;
+      usage("cannot open netlist: " + options.netlist_path);
     }
     std::stringstream buffer;
     buffer << file.rdbuf();
@@ -553,6 +694,10 @@ int main(int argc, char** argv) {
     if (options.ac) return finish(run_ac_cli(parsed, options));
     return finish(options.transient ? run_tran(parsed, options) : run_op(parsed));
   } catch (const oxmlc::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // Last-resort net: a CLI tool must never die on an uncaught exception.
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
