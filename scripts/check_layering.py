@@ -138,6 +138,10 @@ def self_test():
         failures.append("module_of: plain spice file misattributed")
     if module_of("mlc/analyze/config_lint.hpp") != "mlc":
         failures.append("module_of: nested path misattributed")
+    if module_of("numeric/schur_lu.cpp") != "numeric":
+        failures.append("module_of: bordered-block solver misattributed")
+    if module_of("spice/analyze/partition.hpp") != "spice":
+        failures.append("module_of: partition derivation must live in spice")
 
     # 2. Rank comparison on synthetic includes, one per direction.
     cases = [
@@ -146,6 +150,12 @@ def self_test():
         ("spice/circuit.hpp", "spice/netlist.hpp", True),  # into the carve-out
         ("spice/netlist.cpp", "devices/diode.hpp", False),  # carve-out down
         ("array/crossbar.hpp", "mc/runner.hpp", False),  # equal rank: clean
+        # The hierarchical-MNA split: BlockSchurLu is pure numerics and must
+        # never reach up for circuit topology; the partition DERIVATION
+        # (device cliques, border folding) is spice-level and may look down.
+        ("numeric/schur_lu.hpp", "spice/analyze/partition.hpp", True),
+        ("spice/analyze/partition.cpp", "numeric/schur_lu.hpp", False),
+        ("memsys/fidelity.cpp", "array/bank_write_path.hpp", False),
     ]
     for src_rel, inc, should_fire in cases:
         mod, target = module_of(src_rel), module_of(inc)

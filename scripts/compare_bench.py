@@ -67,6 +67,7 @@ GATED_BENCHES = {
     "batch_throughput": "BENCH_batch.json",
     "array_scale": "BENCH_array_scale.json",
     "trace_replay": "BENCH_trace.json",
+    "hier_mna": "BENCH_hier_mna.json",
 }
 
 
@@ -136,6 +137,17 @@ def gated_metrics(bench: dict) -> dict[str, float]:
         metrics["sustained_mb_s"] = float(bench["sustained_mb_s"])
         metrics["row_hit_rate"] = float(bench["row_hit_rate"])
         metrics["retired_fraction"] = float(bench["retired_fraction"])
+    elif bench.get("bench") == "hier_mna":
+        # mono/hier ratios are measured back-to-back (best-of-N) on the same
+        # machine in one run, so they are runner-speed-immune (like
+        # BENCH_trace). thread_speedup is deliberately NOT gated (CI core
+        # counts vary), and neither are the sub-32 points — those transients
+        # finish in tens of milliseconds, where the ratio is timing noise
+        # even best-of-N. 32x32 is the acceptance-criterion size (>=10x) and
+        # its multi-second monolithic denominator keeps the ratio stable.
+        for sweep in bench.get("sweeps", []):
+            if "speedup" in sweep and sweep.get("size", 0) >= 32:
+                metrics[f"speedup@{sweep['size']}"] = float(sweep["speedup"])
     return metrics
 
 
@@ -260,6 +272,10 @@ def self_test(baselines_dir: Path, threshold: float) -> int:
             regressed["sustained_mb_s"] *= 0.7
             regressed["row_hit_rate"] *= 0.7
             regressed["retired_fraction"] *= 0.7
+        elif regressed.get("bench") == "hier_mna":
+            for sweep in regressed.get("sweeps", []):
+                if "speedup" in sweep:
+                    sweep["speedup"] *= 0.7
         bad_failures, _ = compare_bench(bench_id, baseline, regressed, threshold)
         if not bad_failures:
             print(f"[self-test] FAIL: synthetic 30% regression NOT caught "

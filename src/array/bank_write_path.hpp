@@ -1,0 +1,140 @@
+// Full-bank (word-parallel) terminated-RESET write path: `columns` 1T-1R
+// stacks on one selected word line, each with its own bit-line parasitics,
+// column-select switch and per-BL termination circuit (the paper's MLC RST
+// writes a whole word in parallel, one termination comparator per bit line).
+//
+//              vdd ──────────────────────────────┬───────────┐
+//   SL driver ── Rdrv ── SL ladder tap0 ── tap1 ── ... (border)
+//                          │                │
+//                       [Macc_0]         [Macc_1]        per-column block:
+//   WL driver ── WL ladder tap0 ── tap1 ...(border)      access NMOS, cell,
+//                          │                │            BL ladder, column-
+//                        cell_0           cell_1         select NMOS, Fig. 7a
+//                          │                │            termination, csel
+//                       BL ladder        BL ladder       gate driver
+//                          │                │
+//                       [Msel_0]         [Msel_1]
+//                          │                │
+//                       term_0           term_1
+//
+// The shared unknowns — SL/WL ladder taps, the supply, the driver nodes —
+// form exactly the border of a bordered-block-diagonal Jacobian; every other
+// unknown belongs to one column. The builder records that border, derives the
+// num::BlockPartition through spice::analyze::derive_partition, and (when
+// config.hierarchical) installs it on the MnaSystem so the transient runs
+// through num::BlockSchurLu. With config.hierarchical = false the same
+// netlist solves monolithically — the equivalence tests pin both paths to
+// each other at 1e-9.
+//
+// When a column's comparator fires, the control logic drops that column's
+// select gate (StoppablePulse on csel_j) after the logic delay, cutting the
+// cell current without disturbing the shared SL pulse — per-BL termination as
+// in §3.2 of the paper, generalized to word-parallel operation.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "array/parasitics.hpp"
+#include "array/termination.hpp"
+#include "numeric/schur_lu.hpp"
+#include "oxram/device.hpp"
+#include "spice/transient.hpp"
+
+namespace oxmlc::array {
+
+struct BankWritePathConfig {
+  oxram::OxramParams cell;
+  std::size_t columns = 32;
+  std::size_t rows = 32;  // scales per-column BL parasitics below
+  // Per-column initial gaps; padded with `initial_gap` when shorter.
+  std::vector<double> initial_gaps;
+  double initial_gap = 0.25e-9;  // default: LRS
+
+  dev::MosfetParams access = dev::tech130hv::nmos(0.8e-6, 0.5e-6);
+  dev::MosfetParams column_select = dev::tech130hv::nmos(1.6e-6, 0.5e-6);
+  TerminationSizing termination;
+
+  // Full-length line values (reference_rows-cell column / reference_cols-cell
+  // row); the builder scales them to this bank's geometry.
+  LineParasitics bl = LineParasitics::paper_bit_line();
+  LineParasitics sl = LineParasitics::paper_source_line();
+  LineParasitics wl = LineParasitics::paper_word_line();
+  std::size_t reference_rows = 1024;
+  std::size_t reference_cols = 1024;
+  // BL ladder sections per column: 0 = auto (scales with rows, min 2).
+  std::size_t bl_segments = 0;
+
+  double r_driver = 100.0;
+  double v_rst = 1.60;
+  double v_wl = 3.3;
+  double v_csel = 3.3;
+  double pulse_rise = 10e-9;
+  double pulse_width = 3.5e-6;
+  double pulse_fall = 10e-9;
+
+  std::optional<double> iref;  // per-BL termination reference; nullopt = none
+  // Per-column reference currents (MLC: each bit line terminates at its own
+  // level's IrefR); entries beyond the vector fall back to `iref`, and a
+  // non-positive entry disables that column's termination.
+  std::vector<double> irefs;
+  double logic_delay = 10e-9;
+  double t_stop = 4.0e-6;
+  // When set, stop the transient this long after the LAST comparator fires
+  // (once every comparator-equipped column has terminated). The select gates
+  // are down by then, so only sub-threshold leakage remains — truncating the
+  // tail moves the final gap by well under 1% while cutting the step count
+  // roughly in half; the memsys fidelity tier relies on this to keep
+  // per-sample cost bounded. Columns without a comparator never gate the
+  // stop; if any comparator never fires the run goes to t_stop as usual.
+  std::optional<double> stop_after_terminated;
+
+  bool hierarchical = true;   // false: same netlist, monolithic solver
+  std::size_t threads = 1;    // per-block parallelism (bit-identical results)
+};
+
+struct BankColumnResult {
+  bool terminated = false;
+  double t_terminate = 0.0;
+  double final_gap = 0.0;
+  double final_resistance = 0.0;  // at 0.3 V read
+};
+
+struct BankWritePathResult {
+  spice::TransientResult transient;
+  std::vector<BankColumnResult> columns;
+  double energy_source = 0.0;  // SL-driver energy over all columns
+  std::size_t unknowns = 0;
+  std::size_t border_size = 0;
+  std::size_t blocks = 0;
+  // Probe layout: 2 per column (icell_j, gap_j), then vsl last.
+  static std::size_t probe_icell(std::size_t column) { return 2 * column; }
+  static std::size_t probe_gap(std::size_t column) { return 2 * column + 1; }
+};
+
+class BankWritePath {
+ public:
+  explicit BankWritePath(const BankWritePathConfig& config);
+
+  // Runs the word-parallel RESET (terminated per column when that column has
+  // a reference current via config.irefs / config.iref).
+  BankWritePathResult run();
+
+  spice::Circuit& circuit() { return circuit_; }
+  const num::BlockPartition& partition() const { return partition_; }
+  oxram::OxramDevice& cell(std::size_t column) { return *cells_[column]; }
+
+ private:
+  BankWritePathConfig config_;
+  spice::Circuit circuit_;
+  num::BlockPartition partition_;
+  std::shared_ptr<spice::StoppablePulse> sl_pulse_;
+  std::vector<oxram::OxramDevice*> cells_;
+  std::vector<TerminationCircuit> terminations_;
+  std::vector<std::shared_ptr<spice::StoppablePulse>> csel_pulses_;
+  std::vector<int> node_be_;
+  std::vector<int> node_bl_cell_;
+};
+
+}  // namespace oxmlc::array

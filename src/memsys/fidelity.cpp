@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "array/write_path.hpp"
+#include "array/bank_write_path.hpp"
 #include "mc/runner.hpp"
 #include "mlc/controller.hpp"
 #include "oxram/params.hpp"
@@ -123,18 +123,45 @@ MnaTierReport FidelityEngine::run_mna_tier(std::span<const WordSample> samples) 
   MnaTierReport report;
   for (const WordSample& sample : samples) {
     const std::vector<std::size_t> levels = levels_for(sample.data);
-    const std::size_t deepest = *std::max_element(levels.begin(), levels.end());
-    array::WritePathConfig wp;
-    wp.cell = study_.nominal;
-    wp.iref = study_.qlc.allocation.levels[deepest].iref;
+    // The whole word at once: cells_per_word columns on one selected row,
+    // each bit line terminated at its own level's IrefR — the paper's
+    // word-parallel MLC RST, not a single-cell proxy. The bordered-block
+    // solver (num::BlockSchurLu) is what makes 10x the sample count fit the
+    // wall-clock budget the old monolithic single-cell tier had.
+    array::BankWritePathConfig bank;
+    bank.cell = study_.nominal;
+    bank.columns = levels.size();
+    // Physically a bank is tiled into reference_rows-deep subarrays; the
+    // write path drives one subarray's column, not the whole logical bank.
+    bank.rows = std::min(geometry_.rows_per_bank, bank.reference_rows);
+    bank.bl_segments = 4;  // fidelity-appropriate lumping, keeps blocks small
+    bank.irefs.reserve(levels.size());
+    for (const std::size_t level : levels) {
+      bank.irefs.push_back(study_.qlc.allocation.levels[level].iref);
+    }
     // Stretch the plateau past the deepest level's ~4 us termination so the
-    // comparator, not the horizon, ends the pulse.
-    wp.pulse_width = 4.5e-6;
-    wp.t_stop = 4.8e-6;
-    array::WritePathResult result = array::WritePath(wp).run();
+    // comparators, not the horizon, end the pulse.
+    bank.pulse_width = 4.5e-6;
+    bank.t_stop = 4.8e-6;
+    // Once the last comparator fires the cells are cut off; the remaining
+    // plateau is pure wall-clock, and cutting it is what keeps 20 samples
+    // inside the replay budget.
+    bank.stop_after_terminated = 50e-9;
+    bank.hierarchical = true;
+    bank.threads = config_.threads;  // bit-identical per BlockSchurLu contract
+    const array::BankWritePathResult result = array::BankWritePath(bank).run();
     ++report.samples;
-    if (result.terminated) ++report.terminated;
-    report.mean_t_terminate_s += result.t_terminate;
+    bool word_terminated = true;
+    double slowest = 0.0;  // word latency = slowest bit line
+    for (const array::BankColumnResult& column : result.columns) {
+      if (column.terminated) {
+        slowest = std::max(slowest, column.t_terminate);
+      } else {
+        word_terminated = false;
+      }
+    }
+    if (word_terminated) ++report.terminated;
+    report.mean_t_terminate_s += slowest;
     report.mean_energy_j += result.energy_source;
   }
   if (report.samples > 0) {

@@ -15,10 +15,18 @@
 //                        physical latency/energy distributions and decode
 //                        error counts for the replayed payloads.
 //   tier 2 (MNA)         every mna_sample_period-th retired write, capped at
-//                        mna_max_samples: the full transistor-level write
-//                        path (array::WritePath — SL driver, parasitics,
-//                        access NMOS, termination comparator) integrates one
-//                        terminated RESET to the word's deepest level.
+//                        mna_max_samples: the full transistor-level
+//                        word-parallel write path (array::BankWritePath — SL
+//                        driver, shared SL/WL ladders, one column per cell
+//                        with BL parasitics and a Fig. 7a comparator at that
+//                        cell's level IrefR) integrates one terminated RESET
+//                        for the whole word through the hierarchical
+//                        bordered-block solver (num::BlockSchurLu), stopping
+//                        as soon as the last comparator fires. Hierarchy +
+//                        early stop cut the per-sample word transient ~2.5x
+//                        vs solving the same netlist monolithically to
+//                        t_stop; that is what pays for the 10x-raised sample
+//                        cap (2 -> 20 realized on the 1M-request replay).
 //   witness (reliability) a small FastArray + MemoryController +
 //                        ReliabilityEngine carries sampled payloads through
 //                        accelerated retention bakes and scrub_all() rounds —
@@ -29,8 +37,11 @@
 // program/read randomness — derives from mc::trial_rng(config.seed,
 // trace_index) alone. Results land in an index-addressed vector and are
 // reduced sequentially, so reports are bit-identical at any thread count
-// (pinned by the memsys determinism test at 1/2/8 threads). Tier 2 and the
-// witness are sequential and RNG-seeded, hence trivially deterministic.
+// (pinned by the memsys determinism test at 1/2/8 threads). Tier 2 is
+// sequential over samples; within one sample the bank transient may run
+// per-block work on `threads` workers, and BlockSchurLu's reduction-order
+// contract keeps the result bit-identical at any thread count. The witness
+// is sequential and RNG-seeded, hence trivially deterministic.
 #pragma once
 
 #include <cstdint>
@@ -47,8 +58,8 @@ struct FidelityConfig {
   std::size_t word_sample_period = 50'000;  // every Nth retired write
   std::size_t word_max_samples = 64;
   bool mna_tier = true;
-  std::size_t mna_sample_period = 400'000;
-  std::size_t mna_max_samples = 2;
+  std::size_t mna_sample_period = 25'000;
+  std::size_t mna_max_samples = 20;
   bool witness_tier = true;
   std::size_t witness_rows = 4;        // words in the reliability witness array
   std::size_t witness_scrub_epochs = 2;

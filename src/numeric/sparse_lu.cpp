@@ -5,6 +5,7 @@
 #include <string>
 
 #include "numeric/linear_error.hpp"
+#include "numeric/schur_lu.hpp"
 #include "obs/registry.hpp"
 #include "util/error.hpp"
 
@@ -316,8 +317,40 @@ void SparseLu::solve(std::span<const double> b, std::span<double> x) const {
   }
 }
 
+// Out-of-line where BlockSchurLu is complete (unique_ptr member).
+LinearSolver::LinearSolver() = default;
+LinearSolver::~LinearSolver() = default;
+LinearSolver::LinearSolver(LinearSolver&&) noexcept = default;
+LinearSolver& LinearSolver::operator=(LinearSolver&&) noexcept = default;
+
+void LinearSolver::set_partition(const BlockPartition& partition,
+                                 const SchurOptions& options) {
+  schur_ = std::make_unique<BlockSchurLu>(partition, options);
+  hier_active_ = false;
+}
+
+void LinearSolver::clear_partition() {
+  schur_.reset();
+  hier_active_ = false;
+}
+
+bool LinearSolver::factorized() const {
+  if (hier_active_) return schur_->factorized();
+  return dense_active_ ? dense_.factorized() : sparse_.factorized();
+}
+
 void LinearSolver::factorize(const TripletMatrix& triplets) {
   last_refactorized_ = false;
+  last_fallback_ = false;
+  if (schur_) {
+    // The hierarchical path is inherently cached per block; routing the
+    // stateless entry point through it keeps factorize()/solve() consistent.
+    schur_->factorize_cached(triplets);
+    hier_active_ = true;
+    last_refactorized_ = schur_->last_refactorized();
+    return;
+  }
+  hier_active_ = false;
   dense_active_ = triplets.size() <= kDenseCutoff;
   if (dense_active_) {
     DenseMatrix a(triplets.size(), triplets.size());
@@ -330,6 +363,14 @@ void LinearSolver::factorize(const TripletMatrix& triplets) {
 
 void LinearSolver::factorize_cached(const TripletMatrix& triplets) {
   last_refactorized_ = false;
+  last_fallback_ = false;
+  if (schur_) {
+    schur_->factorize_cached(triplets);
+    hier_active_ = true;
+    last_refactorized_ = schur_->last_refactorized();
+    return;
+  }
+  hier_active_ = false;
   dense_active_ = triplets.size() <= kDenseCutoff;
   if (dense_active_) {
     const std::size_t n = triplets.size();
@@ -357,12 +398,15 @@ void LinearSolver::factorize_cached(const TripletMatrix& triplets) {
       return;
     }
     metrics.fallbacks.add();
+    last_fallback_ = true;
   }
   sparse_.factorize(a);
 }
 
 void LinearSolver::solve(std::span<const double> b, std::span<double> x) const {
-  if (dense_active_) {
+  if (hier_active_) {
+    schur_->solve(b, x);
+  } else if (dense_active_) {
     dense_.solve(b, x);
   } else {
     sparse_.solve(b, x);

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,12 @@
 #include "numeric/sparse_matrix.hpp"
 
 namespace oxmlc::num {
+
+// Hierarchical bordered-block solver (schur_lu.hpp); LinearSolver routes to it
+// when a partition is installed via set_partition().
+class BlockSchurLu;
+struct BlockPartition;
+struct SchurOptions;
 
 class SparseLu {
  public:
@@ -84,6 +91,19 @@ class LinearSolver {
   // Systems at or below this size use dense LU (faster for tiny matrices).
   static constexpr std::size_t kDenseCutoff = 96;
 
+  LinearSolver();
+  ~LinearSolver();
+  LinearSolver(LinearSolver&&) noexcept;
+  LinearSolver& operator=(LinearSolver&&) noexcept;
+
+  // Installs a bordered-block partition: factorize()/factorize_cached()/solve()
+  // route through a BlockSchurLu over it instead of the monolithic paths. The
+  // partition size must match every subsequent system. clear_partition()
+  // returns to monolithic solves.
+  void set_partition(const BlockPartition& partition, const SchurOptions& options);
+  void clear_partition();
+  bool partitioned() const { return schur_ != nullptr; }
+
   // Stateless path: fresh CSR build + fully pivoted factorization.
   void factorize(const TripletMatrix& triplets);
 
@@ -96,19 +116,27 @@ class LinearSolver {
   void factorize_cached(const TripletMatrix& triplets);
 
   void solve(std::span<const double> b, std::span<double> x) const;
-  bool factorized() const { return dense_active_ ? dense_.factorized() : sparse_.factorized(); }
+  bool factorized() const;
 
   // True when the last factorize_cached() took the numeric-only refactorize
   // path (callers use this to count newton.refactorizations).
   bool last_refactorized() const { return last_refactorized_; }
 
+  // True when the last factorize_cached() attempted a numeric-only
+  // refactorize but had to fall back to a full factorize (pattern mismatch or
+  // pivot degradation). BlockSchurLu reads this to count per-block fallbacks.
+  bool last_fallback() const { return last_fallback_; }
+
  private:
   bool dense_active_ = true;
+  bool hier_active_ = false;  // last factorize went through schur_
   DenseLu dense_;
   SparseLu sparse_;
   DenseMatrix dense_buffer_;  // reused dense assembly target
   CsrWorkspace assembly_;     // pattern-cached triplet→CSR compression
+  std::unique_ptr<BlockSchurLu> schur_;
   bool last_refactorized_ = false;
+  bool last_fallback_ = false;
 };
 
 }  // namespace oxmlc::num

@@ -2,10 +2,20 @@
 
 #include <algorithm>
 
+#include "numeric/schur_lu.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace oxmlc::spice {
+
+void MnaSystem::set_partition(const num::BlockPartition& partition,
+                              const num::SchurOptions& options) {
+  OXMLC_CHECK(partition.block_of.size() == dimension(),
+              "MnaSystem::set_partition: partition size != unknown count");
+  workspace_.newton.solver.set_partition(partition, options);
+}
+
+void MnaSystem::clear_partition() { workspace_.newton.solver.clear_partition(); }
 
 void MnaSystem::assemble(std::span<const double> x, num::TripletMatrix& jacobian,
                          std::span<double> residual) {

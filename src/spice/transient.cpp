@@ -258,6 +258,8 @@ TransientResult run_transient(MnaSystem& system, const TransientOptions& options
       dt = options.dt_initial;  // resolve the commanded edge accurately
     }
 
+    if (options.stop_when && options.stop_when(t)) break;
+
     // Grow the step after success.
     dt = std::min(options.dt_max, std::max(dt, dt_step) * options.dt_growth);
   }

@@ -47,6 +47,11 @@ struct TransientOptions {
   double gmin = 1e-12;
   num::NewtonOptions newton;
   bool store_solutions = false;  // keep full x at every step (memory heavy)
+  // Early-stop predicate, checked after each accepted step (events already
+  // fired). Returning true ends the run with completed = true — used by
+  // terminated writes whose tail carries no information once every cell has
+  // been cut off.
+  std::function<bool(double t)> stop_when;
 };
 
 struct FiredEvent {

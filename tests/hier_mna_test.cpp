@@ -1,0 +1,402 @@
+// Hierarchical Schur-complement MNA: BlockSchurLu against the monolithic
+// LinearSolver, partition derivation, the bank write path, and the memsys
+// full-MNA tier riding on top.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "array/bank_write_path.hpp"
+#include "numeric/linear_error.hpp"
+#include "numeric/schur_lu.hpp"
+#include "numeric/sparse_lu.hpp"
+#include "numeric/sparse_matrix.hpp"
+#include "spice/analyze/partition.hpp"
+#include "spice/dc.hpp"
+#include "spice/mna.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using oxmlc::num::BlockPartition;
+using oxmlc::num::BlockSchurLu;
+using oxmlc::num::LinearSolver;
+using oxmlc::num::SchurOptions;
+using oxmlc::num::SingularMatrixError;
+using oxmlc::num::TripletMatrix;
+
+// Builds a well-conditioned bordered-block-diagonal system: `blocks` interior
+// blocks of `block_n` unknowns each (tridiagonal, diagonally dominant) plus a
+// `border_n`-unknown border every block couples to through a few entries.
+struct BbdSystem {
+  TripletMatrix a;
+  BlockPartition partition;
+  std::vector<double> rhs;
+};
+
+BbdSystem make_bbd(std::size_t blocks, std::size_t block_n, std::size_t border_n,
+                   std::uint64_t seed) {
+  BbdSystem sys;
+  const std::size_t n = blocks * block_n + border_n;
+  sys.a.resize(n);
+  sys.partition.blocks = blocks;
+  sys.partition.block_of.assign(n, BlockPartition::kBorder);
+  oxmlc::Rng rng(seed);
+
+  auto global = [&](std::size_t k, std::size_t i) { return k * block_n + i; };
+  const std::size_t border_base = blocks * block_n;
+
+  for (std::size_t k = 0; k < blocks; ++k) {
+    for (std::size_t i = 0; i < block_n; ++i) {
+      sys.partition.block_of[global(k, i)] = static_cast<std::int32_t>(k);
+      sys.a.add(global(k, i), global(k, i), 4.0 + rng.uniform());
+      if (i + 1 < block_n) {
+        const double c = 0.5 + rng.uniform();
+        sys.a.add(global(k, i), global(k, i + 1), -c);
+        sys.a.add(global(k, i + 1), global(k, i), -c);
+      }
+    }
+    // Each block touches two border unknowns (like SL/WL taps).
+    for (std::size_t t = 0; t < 2 && t < border_n; ++t) {
+      const std::size_t b = border_base + (k + t) % border_n;
+      const double c = 0.25 + rng.uniform();
+      sys.a.add(global(k, t % block_n), b, -c);
+      sys.a.add(b, global(k, t % block_n), -c);
+    }
+  }
+  for (std::size_t j = 0; j < border_n; ++j) {
+    sys.a.add(border_base + j, border_base + j, 6.0 + rng.uniform());
+    if (j + 1 < border_n) {
+      const double c = 0.5 + rng.uniform();
+      sys.a.add(border_base + j, border_base + j + 1, -c);
+      sys.a.add(border_base + j + 1, border_base + j, -c);
+    }
+  }
+  sys.rhs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) sys.rhs[i] = rng.uniform(-1.0, 1.0);
+  return sys;
+}
+
+double rel_max_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double diff = 0.0, scale = 1e-30;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff = std::max(diff, std::fabs(a[i] - b[i]));
+    scale = std::max(scale, std::fabs(a[i]));
+  }
+  return diff / scale;
+}
+
+TEST(BlockSchurLu, MatchesMonolithicSolve) {
+  // Block size above and below the dense cutoff, border present.
+  for (std::size_t block_n : {8u, 120u}) {
+    BbdSystem sys = make_bbd(6, block_n, 10, 0xBEEF + block_n);
+    const std::size_t n = sys.a.size();
+
+    LinearSolver mono;
+    mono.factorize_cached(sys.a);
+    std::vector<double> x_mono(n);
+    mono.solve(sys.rhs, x_mono);
+
+    BlockSchurLu hier(sys.partition, SchurOptions{});
+    hier.factorize_cached(sys.a);
+    std::vector<double> x_hier(n);
+    hier.solve(sys.rhs, x_hier);
+
+    EXPECT_LT(rel_max_diff(x_mono, x_hier), 1e-9) << "block_n=" << block_n;
+  }
+}
+
+TEST(BlockSchurLu, RefactorizePathMatchesAndReports) {
+  // Same pattern, new values: second factorize must take the block
+  // refactorize path (block_n > dense cutoff) and still match monolithic.
+  BbdSystem sys = make_bbd(4, 120, 8, 0xAB);
+  BlockSchurLu hier(sys.partition, SchurOptions{});
+  hier.factorize_cached(sys.a);
+  EXPECT_FALSE(hier.last_refactorized());
+
+  BbdSystem sys2 = make_bbd(4, 120, 8, 0xCD);  // same structure, new values
+  hier.factorize_cached(sys2.a);
+  EXPECT_TRUE(hier.last_refactorized());
+
+  LinearSolver mono;
+  mono.factorize_cached(sys2.a);
+  const std::size_t n = sys2.a.size();
+  std::vector<double> x_mono(n), x_hier(n);
+  mono.solve(sys2.rhs, x_mono);
+  hier.solve(sys2.rhs, x_hier);
+  EXPECT_LT(rel_max_diff(x_mono, x_hier), 1e-9);
+}
+
+TEST(BlockSchurLu, BitIdenticalAcrossThreadCounts) {
+  BbdSystem sys = make_bbd(8, 40, 12, 0x5EED);
+  const std::size_t n = sys.a.size();
+  std::vector<std::vector<double>> results;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    SchurOptions opt;
+    opt.threads = threads;
+    BlockSchurLu hier(sys.partition, opt);
+    hier.factorize_cached(sys.a);
+    std::vector<double> x(n);
+    hier.solve(sys.rhs, x);
+    results.push_back(std::move(x));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(0, std::memcmp(results[0].data(), results[i].data(),
+                             n * sizeof(double)))
+        << "thread-count variant " << i << " not bit-identical";
+  }
+}
+
+TEST(BlockSchurLu, DegenerateSingleBlockEmptyBorder) {
+  // Everything in one interior block: no border, pure block solve.
+  BbdSystem sys = make_bbd(1, 24, 0, 0x11);
+  BlockSchurLu hier(sys.partition, SchurOptions{});
+  hier.factorize_cached(sys.a);
+  EXPECT_EQ(hier.border_size(), 0u);
+
+  LinearSolver mono;
+  mono.factorize_cached(sys.a);
+  std::vector<double> x_mono(sys.a.size()), x_hier(sys.a.size());
+  mono.solve(sys.rhs, x_mono);
+  hier.solve(sys.rhs, x_hier);
+  EXPECT_LT(rel_max_diff(x_mono, x_hier), 1e-12);
+}
+
+TEST(BlockSchurLu, DegenerateAllBorder) {
+  // Every unknown on the border: reduces to a dense monolithic solve.
+  BbdSystem sys = make_bbd(2, 6, 4, 0x22);
+  BlockPartition all_border;
+  all_border.blocks = 1;  // one (empty) interior block
+  all_border.block_of.assign(sys.a.size(), BlockPartition::kBorder);
+  BlockSchurLu hier(all_border, SchurOptions{});
+  hier.factorize_cached(sys.a);
+  EXPECT_EQ(hier.border_size(), sys.a.size());
+
+  LinearSolver mono;
+  mono.factorize_cached(sys.a);
+  std::vector<double> x_mono(sys.a.size()), x_hier(sys.a.size());
+  mono.solve(sys.rhs, x_mono);
+  hier.solve(sys.rhs, x_hier);
+  EXPECT_LT(rel_max_diff(x_mono, x_hier), 1e-12);
+}
+
+TEST(BlockSchurLu, SingularBlockNamesGlobalColumn) {
+  BbdSystem sys = make_bbd(3, 10, 4, 0x33);
+  // Zero out block 1's local row/column 5 (global 15) by rebuilding without
+  // any entry touching it.
+  TripletMatrix broken(sys.a.size());
+  const std::size_t dead = 15;
+  for (const auto& t : sys.a.entries()) {
+    if (t.row == dead || t.col == dead) continue;
+    broken.add(t.row, t.col, t.value);
+  }
+  BlockSchurLu hier(sys.partition, SchurOptions{});
+  try {
+    hier.factorize_cached(broken);
+    FAIL() << "expected SingularMatrixError";
+  } catch (const SingularMatrixError& e) {
+    EXPECT_EQ(e.column(), dead);
+    EXPECT_NE(std::string(e.what()).find("block 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BlockSchurLu, CrossBlockCouplingRejected) {
+  BbdSystem sys = make_bbd(2, 8, 2, 0x44);
+  sys.a.add(0, 8, 1.0);  // block 0 directly into block 1
+  BlockSchurLu hier(sys.partition, SchurOptions{});
+  EXPECT_THROW(hier.factorize_cached(sys.a), oxmlc::InvalidArgumentError);
+}
+
+oxmlc::array::BankWritePathConfig bank_config(std::size_t columns,
+                                              std::size_t rows) {
+  oxmlc::array::BankWritePathConfig cfg;
+  cfg.columns = columns;
+  cfg.rows = rows;
+  cfg.iref = 20e-6;
+  cfg.pulse_width = 3.5e-6;
+  cfg.t_stop = 3.0e-6;
+  return cfg;
+}
+
+TEST(BankPartition, DerivedShapeMatchesColumns) {
+  oxmlc::array::BankWritePath bank(bank_config(8, 8));
+  const auto& p = bank.partition();
+  // One interior block per column; SL/WL taps, drivers, vdd and the shared
+  // source branch currents on the border.
+  EXPECT_EQ(p.blocks, 8u);
+  std::size_t border = 0;
+  std::vector<std::size_t> sizes(p.blocks, 0);
+  for (std::int32_t b : p.block_of) {
+    if (b == BlockPartition::kBorder) {
+      ++border;
+    } else {
+      ++sizes[static_cast<std::size_t>(b)];
+    }
+  }
+  EXPECT_GE(border, 2 * 8 + 3u);  // taps + drivers + vdd + source branches
+  EXPECT_LE(border, 2 * 8 + 12u);
+  for (std::size_t s : sizes) EXPECT_GE(s, 8u);  // real column stacks
+}
+
+TEST(BankPartition, AutoPartitionFindsColumnSplit) {
+  oxmlc::array::BankWritePath bank(bank_config(6, 8));
+  oxmlc::spice::analyze::PartitionOptions opt;
+  opt.min_blocks = 4;
+  const auto p = oxmlc::spice::analyze::auto_partition(bank.circuit(), opt);
+  ASSERT_GE(p.blocks, 4u) << "auto_partition found no useful split";
+  // The derived partition must be valid for the actual Jacobian: a
+  // BlockSchurLu DC factorization over it succeeds.
+  oxmlc::spice::MnaSystem system(bank.circuit());
+  system.set_partition(p, SchurOptions{});
+  const auto dc = oxmlc::spice::solve_dc(system);
+  EXPECT_TRUE(dc.converged);
+}
+
+TEST(BankEquivalence, DcHierMatchesMonolithicAt1e9) {
+  oxmlc::array::BankWritePath bank(bank_config(8, 8));
+
+  oxmlc::spice::MnaSystem mono(bank.circuit());
+  const auto dc_mono = oxmlc::spice::solve_dc(mono);
+  ASSERT_TRUE(dc_mono.converged);
+
+  oxmlc::spice::MnaSystem hier(bank.circuit());
+  hier.set_partition(bank.partition(), SchurOptions{});
+  const auto dc_hier = oxmlc::spice::solve_dc(hier);
+  ASSERT_TRUE(dc_hier.converged);
+
+  EXPECT_LT(rel_max_diff(dc_mono.solution, dc_hier.solution), 1e-9);
+}
+
+TEST(BankEquivalence, ShortTransientHierMatchesMonolithicAt1e9) {
+  // Pre-termination window: both paths must take the same accepted steps and
+  // agree on every probe to 1e-9.
+  auto cfg = bank_config(8, 8);
+  cfg.t_stop = 0.3e-6;
+
+  cfg.hierarchical = false;
+  oxmlc::array::BankWritePath mono(cfg);
+  const auto r_mono = mono.run();
+
+  cfg.hierarchical = true;
+  oxmlc::array::BankWritePath hier(cfg);
+  const auto r_hier = hier.run();
+
+  ASSERT_TRUE(r_mono.transient.completed);
+  ASSERT_TRUE(r_hier.transient.completed);
+  ASSERT_EQ(r_mono.transient.times.size(), r_hier.transient.times.size());
+  for (std::size_t p = 0; p < r_mono.transient.probe_values.size(); ++p) {
+    EXPECT_LT(rel_max_diff(r_mono.transient.probe_values[p],
+                           r_hier.transient.probe_values[p]),
+              1e-9)
+        << "probe " << p;
+  }
+}
+
+TEST(BankEquivalence, MidPulseTerminationMatchesMonolithic) {
+  // Full terminated RESET: every column's comparator fires mid-pulse and the
+  // two solver paths agree on when and on the programmed state.
+  auto cfg = bank_config(8, 8);
+
+  cfg.hierarchical = false;
+  oxmlc::array::BankWritePath mono(cfg);
+  const auto r_mono = mono.run();
+
+  cfg.hierarchical = true;
+  oxmlc::array::BankWritePath hier(cfg);
+  const auto r_hier = hier.run();
+
+  for (std::size_t j = 0; j < cfg.columns; ++j) {
+    ASSERT_TRUE(r_hier.columns[j].terminated) << "column " << j;
+    ASSERT_TRUE(r_mono.columns[j].terminated) << "column " << j;
+    // Mid-pulse: the comparator, not the pulse edge, ended the write.
+    EXPECT_LT(r_hier.columns[j].t_terminate, cfg.pulse_width);
+    EXPECT_GT(r_hier.columns[j].t_terminate, 10e-9);
+    // Event localization resolution bounds the fire-time difference.
+    EXPECT_NEAR(r_hier.columns[j].t_terminate, r_mono.columns[j].t_terminate,
+                5e-9);
+    EXPECT_NEAR(r_hier.columns[j].final_gap, r_mono.columns[j].final_gap,
+                1e-6 * std::fabs(r_mono.columns[j].final_gap));
+    // RESET actually happened: gap opened beyond the LRS start.
+    EXPECT_GT(r_hier.columns[j].final_gap, 0.3e-9);
+  }
+}
+
+TEST(BankEquivalence, EarlyStopPreservesTerminationAndTruncatesTail) {
+  // stop_after_terminated ends the run shortly after the LAST comparator
+  // fires; everything observable up to that point (fire times, programmed
+  // gaps, fired-event count) must match the full-horizon run, and only the
+  // dead tail may be missing. The memsys MNA tier relies on this.
+  auto cfg = bank_config(8, 8);
+
+  oxmlc::array::BankWritePath full(cfg);
+  const auto r_full = full.run();
+
+  cfg.stop_after_terminated = 50e-9;
+  oxmlc::array::BankWritePath early(cfg);
+  const auto r_early = early.run();
+
+  ASSERT_TRUE(r_early.transient.completed);
+  EXPECT_LT(r_early.transient.times.back(), r_full.transient.times.back());
+  ASSERT_EQ(r_early.transient.fired_events.size(),
+            r_full.transient.fired_events.size());
+  for (std::size_t j = 0; j < cfg.columns; ++j) {
+    ASSERT_TRUE(r_early.columns[j].terminated) << "column " << j;
+    // Identical stepping up to the stop point: fire times match exactly.
+    EXPECT_EQ(r_early.columns[j].t_terminate, r_full.columns[j].t_terminate)
+        << "column " << j;
+    // The select gate is down, so only sub-threshold leakage still nudges
+    // the gap over the truncated tail — well under 1%.
+    EXPECT_NEAR(r_early.columns[j].final_gap, r_full.columns[j].final_gap,
+                1e-2 * std::fabs(r_full.columns[j].final_gap));
+  }
+}
+
+TEST(BankEquivalence, ThreadCountBitIdentity) {
+  auto cfg = bank_config(8, 8);
+  cfg.t_stop = 1.0e-6;
+  std::vector<oxmlc::array::BankWritePathResult> runs;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    cfg.threads = threads;
+    oxmlc::array::BankWritePath bank(cfg);
+    runs.push_back(bank.run());
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    ASSERT_EQ(runs[0].transient.times.size(), runs[i].transient.times.size());
+    ASSERT_EQ(0, std::memcmp(runs[0].transient.times.data(),
+                             runs[i].transient.times.data(),
+                             runs[0].transient.times.size() * sizeof(double)));
+    for (std::size_t p = 0; p < runs[0].transient.probe_values.size(); ++p) {
+      ASSERT_EQ(0, std::memcmp(runs[0].transient.probe_values[p].data(),
+                               runs[i].transient.probe_values[p].data(),
+                               runs[0].transient.probe_values[p].size() *
+                                   sizeof(double)))
+          << "probe " << p << " differs at thread variant " << i;
+    }
+  }
+}
+
+TEST(LinearSolverPartition, RoutesThroughSchurAndBack) {
+  BbdSystem sys = make_bbd(4, 30, 6, 0x55);
+  const std::size_t n = sys.a.size();
+
+  LinearSolver solver;
+  solver.set_partition(sys.partition, SchurOptions{});
+  EXPECT_TRUE(solver.partitioned());
+  solver.factorize_cached(sys.a);
+  std::vector<double> x_hier(n);
+  solver.solve(sys.rhs, x_hier);
+
+  solver.clear_partition();
+  EXPECT_FALSE(solver.partitioned());
+  solver.factorize_cached(sys.a);
+  std::vector<double> x_mono(n);
+  solver.solve(sys.rhs, x_mono);
+
+  EXPECT_LT(rel_max_diff(x_mono, x_hier), 1e-9);
+}
+
+}  // namespace

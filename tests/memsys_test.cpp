@@ -7,6 +7,7 @@
 // the open-row / bus-serialization arithmetic fails with the exact numbers.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 #include <vector>
 
@@ -419,6 +420,59 @@ TEST(Scheduler, FullQueueStallsAdmissionButEveryRequestRetires) {
   EXPECT_EQ(result.requests_retired, 16u);
   EXPECT_GT(result.queue_stall_cycles, 0u);
   EXPECT_EQ(result.banks[0].max_queue_depth, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Full-MNA fidelity tier (hierarchical word-parallel bank)
+// ---------------------------------------------------------------------------
+
+// The hierarchical solver is what pays for the raised cap: pre-BlockSchurLu
+// the tier afforded 2 monolithic single-cell transients; the word-parallel
+// bank path at >=10x the per-transient speed carries 10x the samples in the
+// same wall-clock budget. A silent revert of these defaults would quietly
+// shrink physics coverage, so they are pinned.
+TEST(Fidelity, MnaSampleCapRaisedTenfoldByHierarchicalTier) {
+  const FidelityConfig config;
+  EXPECT_EQ(config.mna_max_samples, 20u);       // was 2 (monolithic WritePath)
+  EXPECT_EQ(config.mna_sample_period, 25'000u); // was 400'000
+
+  FidelityEngine engine(GeometryConfig::rram_isscc_2012(), config);
+  std::size_t mna_samples = 0;
+  for (std::size_t i = 0; i < 20u * 25'000u; ++i) {
+    if (engine.is_mna_sample(i)) ++mna_samples;
+  }
+  EXPECT_EQ(mna_samples, 20u);
+  EXPECT_FALSE(engine.is_mna_sample(20u * 25'000u));
+}
+
+// One word through the tier: every bit line carries its own level's IrefR
+// comparator and all of them must terminate; the report is bit-identical at
+// 1/2/8 threads (the BlockSchurLu reduction-order contract, observed here
+// end-to-end through the memsys layer).
+TEST(Fidelity, MnaTierWordBankTerminatesAndIsThreadBitIdentical) {
+  const GeometryConfig geometry = GeometryConfig::rram_isscc_2012();
+  const std::vector<WordSample> samples = {{7, 0x93A61C05u}};
+
+  std::vector<MnaTierReport> reports;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    FidelityConfig config;
+    config.threads = threads;
+    FidelityEngine engine(geometry, config);
+    reports.push_back(engine.run_mna_tier(samples));
+  }
+
+  EXPECT_EQ(reports[0].samples, 1u);
+  EXPECT_EQ(reports[0].terminated, 1u);  // whole word, all bit lines
+  EXPECT_GT(reports[0].mean_t_terminate_s, 0.0);
+  EXPECT_LT(reports[0].mean_t_terminate_s, 4.5e-6);
+  EXPECT_GT(reports[0].mean_energy_j, 0.0);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&reports[i].mean_t_terminate_s,
+                          &reports[0].mean_t_terminate_s, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&reports[i].mean_energy_j,
+                          &reports[0].mean_energy_j, sizeof(double)), 0);
+    EXPECT_EQ(reports[i].terminated, reports[0].terminated);
+  }
 }
 
 // ---------------------------------------------------------------------------
