@@ -1,0 +1,225 @@
+#include "ecc/bch.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace oxmlc::ecc {
+
+namespace {
+
+// Primitive polynomials over GF(2), one per field degree m = 3..10, in the
+// usual bit encoding (bit i = coefficient of x^i). These are the standard
+// minimum-weight choices (x^6 + x + 1 for m = 6, etc.).
+constexpr unsigned kPrimitivePoly[] = {
+    0x0B,   // m=3:  x^3 + x + 1
+    0x13,   // m=4:  x^4 + x + 1
+    0x25,   // m=5:  x^5 + x^2 + 1
+    0x43,   // m=6:  x^6 + x + 1
+    0x89,   // m=7:  x^7 + x^3 + 1
+    0x11D,  // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,  // m=9:  x^9 + x^4 + 1
+    0x409,  // m=10: x^10 + x^3 + 1
+};
+
+}  // namespace
+
+GaloisField::GaloisField(unsigned m) : m_(m), n_((1u << m) - 1) {
+  OXMLC_CHECK(m >= 3 && m <= 10,
+              "GaloisField: m must be in [3, 10], got " + std::to_string(m));
+  const unsigned poly = kPrimitivePoly[m - 3];
+  alpha_to_.assign(n_, 0);
+  log_of_.assign(n_ + 1, 0);
+  unsigned x = 1;
+  for (unsigned i = 0; i < n_; ++i) {
+    alpha_to_[i] = x;
+    log_of_[x] = i;
+    x <<= 1;
+    if (x > n_) x ^= poly;
+  }
+}
+
+unsigned GaloisField::mul(unsigned a, unsigned b) const {
+  if (a == 0 || b == 0) return 0;
+  return alpha_to_[(log_of_[a] + log_of_[b]) % n_];
+}
+
+unsigned GaloisField::inv(unsigned a) const {
+  OXMLC_CHECK(a != 0, "GaloisField: zero has no inverse");
+  return alpha_to_[(n_ - log_of_[a]) % n_];
+}
+
+unsigned GaloisField::alpha_pow(int e) const {
+  const int n = static_cast<int>(n_);
+  int r = e % n;
+  if (r < 0) r += n;
+  return alpha_to_[static_cast<unsigned>(r)];
+}
+
+unsigned GaloisField::log(unsigned a) const {
+  OXMLC_CHECK(a != 0, "GaloisField: log of zero");
+  return log_of_[a];
+}
+
+BchCode::BchCode(unsigned m, unsigned t) : field_(m), t_(t), n_(field_.size()) {
+  OXMLC_CHECK(t >= 1, "BchCode: t must be >= 1");
+
+  // The generator is the product of (x - alpha^j) over the union of the
+  // cyclotomic cosets of 1..2t — i.e. the LCM of the minimal polynomials of
+  // alpha^1..alpha^2t. Collect the exponent set first so each conjugate
+  // contributes exactly one linear factor.
+  std::set<unsigned> exponents;
+  for (unsigned i = 1; i <= 2 * t; ++i) {
+    unsigned j = i % static_cast<unsigned>(n_);
+    while (exponents.insert(j).second) {
+      j = (2 * j) % static_cast<unsigned>(n_);
+    }
+  }
+  OXMLC_CHECK(exponents.size() < n_,
+              "BchCode: t=" + std::to_string(t) + " leaves no data bits at m=" +
+                  std::to_string(m));
+
+  // Multiply the linear factors out in GF(2^m); the result has GF(2)
+  // coefficients because the root set is closed under conjugation.
+  std::vector<unsigned> g = {1};
+  for (const unsigned j : exponents) {
+    const unsigned root = field_.alpha_pow(static_cast<int>(j));
+    std::vector<unsigned> next(g.size() + 1, 0);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      next[i + 1] ^= g[i];                  // x * g[i]
+      next[i] ^= field_.mul(g[i], root);    // root * g[i] (add == xor)
+    }
+    g = std::move(next);
+  }
+  generator_.resize(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    OXMLC_CHECK(g[i] <= 1, "BchCode: generator coefficient escaped GF(2)");
+    generator_[i] = static_cast<std::uint8_t>(g[i]);
+  }
+  k_ = n_ - (generator_.size() - 1);
+}
+
+std::vector<std::uint8_t> BchCode::encode(std::span<const std::uint8_t> data) const {
+  OXMLC_CHECK(data.size() == k_,
+              "BchCode::encode: expected " + std::to_string(k_) + " data bits, got " +
+                  std::to_string(data.size()));
+  const std::size_t parity = n_ - k_;
+  std::vector<std::uint8_t> codeword(n_, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    codeword[parity + i] = data[i] != 0;
+  }
+  // Systematic encode: parity = x^(n-k) d(x) mod g(x), via long division with
+  // the data already placed in the high coefficients.
+  std::vector<std::uint8_t> rem(codeword);
+  for (std::size_t i = n_; i-- > parity;) {
+    if (rem[i] == 0) continue;
+    const std::size_t shift = i - (generator_.size() - 1);
+    for (std::size_t j = 0; j < generator_.size(); ++j) {
+      rem[shift + j] ^= generator_[j];
+    }
+  }
+  for (std::size_t i = 0; i < parity; ++i) {
+    codeword[i] = rem[i];
+  }
+  return codeword;
+}
+
+BchCode::DecodeResult BchCode::decode(std::span<const std::uint8_t> word) const {
+  OXMLC_CHECK(word.size() == n_,
+              "BchCode::decode: expected " + std::to_string(n_) + " bits, got " +
+                  std::to_string(word.size()));
+  const std::size_t parity = n_ - k_;
+  std::vector<std::uint8_t> received(word.begin(), word.end());
+
+  auto extract = [&](const std::vector<std::uint8_t>& bits) {
+    return std::vector<std::uint8_t>(bits.begin() + static_cast<std::ptrdiff_t>(parity),
+                                     bits.end());
+  };
+
+  // Syndromes S_i = r(alpha^i), i = 1..2t.
+  std::vector<unsigned> syndrome(2 * t_ + 1, 0);
+  bool clean = true;
+  for (unsigned i = 1; i <= 2 * t_; ++i) {
+    unsigned s = 0;
+    for (std::size_t p = 0; p < n_; ++p) {
+      if (received[p] != 0) s ^= field_.alpha_pow(static_cast<int>(i * p));
+    }
+    syndrome[i] = s;
+    clean = clean && s == 0;
+  }
+  DecodeResult result;
+  if (clean) {
+    result.data = extract(received);
+    result.ok = true;
+    return result;
+  }
+
+  // Berlekamp–Massey: shortest LFSR C(x) generating the syndrome sequence is
+  // the error-locator sigma(x).
+  std::vector<unsigned> C = {1}, B = {1};
+  unsigned L = 0, b = 1, shift = 1;
+  for (unsigned step = 0; step < 2 * t_; ++step) {
+    unsigned d = syndrome[step + 1];
+    for (unsigned i = 1; i <= L && i < C.size(); ++i) {
+      d ^= field_.mul(C[i], syndrome[step + 1 - i]);
+    }
+    if (d == 0) {
+      ++shift;
+    } else if (2 * L <= step) {
+      const std::vector<unsigned> T = C;
+      const unsigned coef = field_.mul(d, field_.inv(b));
+      C.resize(std::max(C.size(), B.size() + shift), 0);
+      for (std::size_t i = 0; i < B.size(); ++i) {
+        C[i + shift] ^= field_.mul(coef, B[i]);
+      }
+      L = step + 1 - L;
+      B = T;
+      b = d;
+      shift = 1;
+    } else {
+      const unsigned coef = field_.mul(d, field_.inv(b));
+      C.resize(std::max(C.size(), B.size() + shift), 0);
+      for (std::size_t i = 0; i < B.size(); ++i) {
+        C[i + shift] ^= field_.mul(coef, B[i]);
+      }
+      ++shift;
+    }
+  }
+  while (C.size() > 1 && C.back() == 0) C.pop_back();
+  const unsigned degree = static_cast<unsigned>(C.size() - 1);
+  if (L > t_ || degree != L) {
+    // More errors than the code can locate: bounded-distance failure.
+    result.data = extract(received);
+    result.detected_uncorrectable = true;
+    return result;
+  }
+
+  // Chien search: error at position p iff sigma(alpha^{-p}) == 0.
+  std::vector<std::size_t> positions;
+  for (std::size_t p = 0; p < n_ && positions.size() <= L; ++p) {
+    unsigned value = 0;
+    for (std::size_t i = 0; i < C.size(); ++i) {
+      if (C[i] == 0) continue;
+      value ^= field_.mul(C[i],
+                          field_.alpha_pow(-static_cast<int>(i * p)));
+    }
+    if (value == 0) positions.push_back(p);
+  }
+  if (positions.size() != L) {
+    // The locator does not split over the field: error weight exceeded t.
+    result.data = extract(received);
+    result.detected_uncorrectable = true;
+    return result;
+  }
+  for (const std::size_t p : positions) {
+    received[p] ^= 1u;
+  }
+  result.data = extract(received);
+  result.ok = true;
+  result.corrected = static_cast<unsigned>(positions.size());
+  return result;
+}
+
+}  // namespace oxmlc::ecc

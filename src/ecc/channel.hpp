@@ -1,0 +1,95 @@
+// Error-injection bridge: device physics -> per-word level/bit errors.
+//
+// The codes in this module are only as honest as the channel feeding them,
+// so there is deliberately NO iid-bitflip shortcut here. One trial simulates
+// one stored word cell by cell through the same physics the retention study
+// and `ReliabilityEngine` run: device sampled from the D2D distributions
+// (window pre-compressed by endurance wear at the cycle count the
+// wear-leveling policy implies), programmed through the terminated-RESET
+// programmer, evolved along the two-component log-time drift law with
+// read-disturb stress billed per sense, optionally re-terminated by the
+// relaxation-aware verify, scrubbed on the policy's period, and finally read
+// back through the real reference ladder at the horizon. Level errors fall
+// out as (target, observed) pairs; `error_bits` maps them through the Gray
+// code to the bit-error stream the code catalog consumes.
+//
+// Determinism: everything a trial samples derives from the single `rng`
+// passed in (per-cell streams are split() children), so trials keep the
+// (seed, index) contract and the explorer stays bit-identical at any thread
+// count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/gray.hpp"
+#include "mlc/mc_study.hpp"
+#include "mlc/program.hpp"
+#include "oxram/drift.hpp"
+#include "reliability/engine.hpp"
+#include "util/rng.hpp"
+
+namespace oxmlc::ecc {
+
+// Analytic start-gap wear leveling over one hot region: a skewed write
+// stream (hot_row_share of lifetime_writes on one row) is spread toward
+// uniform as the rotation period shrinks. The result is the program/erase
+// cycle count billed to every cell of the simulated word — which feeds
+// `reliability::worn_params` *before* device sampling, the same order the
+// endurance study uses.
+struct WearLevelingModel {
+  double lifetime_writes = 1e7;  // writes absorbed by the region over life
+  std::size_t region_rows = 4096;
+  double hot_row_share = 0.5;    // fraction of writes hitting the hot row
+};
+
+// rotate_every_writes == 0 disables rotation (the hot row takes its full
+// share); smaller periods approach the uniform floor. One start-gap
+// revolution costs rotate * region_rows writes, so the achieved leveling
+// fraction is min(1, lifetime / (rotate * region_rows)).
+double effective_cycles(const WearLevelingModel& model,
+                        std::uint64_t rotate_every_writes);
+
+// The three per-word policy knobs the explorer sweeps (code rate is the
+// fourth, applied downstream of the channel).
+struct ChannelPolicy {
+  double scrub_period_s = 0.0;  // 0 = never scrub
+  bool relax_verify = false;    // re-terminate on a relaxation-slipped verify
+  std::uint64_t rotate_every_writes = 0;  // start-gap period, 0 = off
+};
+
+struct ChannelConfig {
+  mlc::McStudyConfig study;  // allocation (bits/cell), device, variability
+  oxram::DriftParams drift;
+  reliability::ReadDisturbModel read_disturb;
+  reliability::EnduranceModel endurance;
+  WearLevelingModel wear;
+  ChannelPolicy policy;
+  double horizon_s = 1e7;      // read-back time after program
+  double tau_relax = 1e-3;     // s between program and each verify re-sense
+  std::size_t verify_max_passes = 2;
+  std::size_t max_scrub_events = 128;  // guard: horizon / period must fit
+};
+
+struct WordTrial {
+  std::vector<std::size_t> target;    // per-cell programmed level index
+  std::vector<std::size_t> observed;  // per-cell decoded level at the horizon
+  std::uint32_t verify_reprograms = 0;
+  std::uint32_t scrub_reprograms = 0;
+};
+
+// Simulates one stored word of `cells` cells end to end. Target levels are
+// uniform draws (a Gray-mapped random payload is level-uniform in aggregate,
+// and a data-independent reference word is what lets every code in the
+// catalog score against the same channel realization).
+WordTrial simulate_word(const ChannelConfig& config, const mlc::QlcProgrammer& programmer,
+                        std::size_t cells, Rng& rng);
+
+// Gray-maps a (target, observed) level pair stream to bit errors: bit i is 1
+// iff stored bit i read back flipped. Length = cells * bits_per_cell.
+std::vector<std::uint8_t> error_bits(const LevelCoder& coder,
+                                     std::span<const std::size_t> target,
+                                     std::span<const std::size_t> observed);
+
+}  // namespace oxmlc::ecc

@@ -1,0 +1,69 @@
+#include "ecc/gray.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace oxmlc::ecc {
+
+std::uint64_t gray_encode(std::uint64_t value) { return value ^ (value >> 1); }
+
+std::uint64_t gray_decode(std::uint64_t gray) {
+  std::uint64_t value = gray;
+  for (std::uint64_t shift = 1; shift < 64; shift <<= 1) {
+    value ^= value >> shift;
+  }
+  return value;
+}
+
+LevelCoder::LevelCoder(std::size_t bits_per_cell) : bits_(bits_per_cell) {
+  OXMLC_CHECK(bits_per_cell >= 1 && bits_per_cell <= 6,
+              "LevelCoder: bits_per_cell must be in [1, 6], got " +
+                  std::to_string(bits_per_cell));
+}
+
+std::size_t LevelCoder::cells_for_bits(std::size_t n_bits) const {
+  return (n_bits + bits_ - 1) / bits_;
+}
+
+std::size_t LevelCoder::level_for_symbol(std::uint64_t symbol) const {
+  OXMLC_CHECK(symbol < levels(),
+              "LevelCoder: symbol " + std::to_string(symbol) + " needs more than " +
+                  std::to_string(bits_) + " bits");
+  return static_cast<std::size_t>(gray_decode(symbol));
+}
+
+std::uint64_t LevelCoder::symbol_for_level(std::size_t level) const {
+  OXMLC_CHECK(level < levels(),
+              "LevelCoder: level " + std::to_string(level) + " out of range for " +
+                  std::to_string(bits_) + " bits/cell");
+  return gray_encode(level);
+}
+
+std::vector<std::size_t> LevelCoder::levels_for_bits(
+    std::span<const std::uint8_t> bits) const {
+  std::vector<std::size_t> out(cells_for_bits(bits.size()));
+  for (std::size_t cell = 0; cell < out.size(); ++cell) {
+    std::uint64_t symbol = 0;
+    for (std::size_t b = 0; b < bits_; ++b) {
+      const std::size_t i = cell * bits_ + b;
+      if (i < bits.size() && bits[i] != 0) symbol |= std::uint64_t{1} << b;
+    }
+    out[cell] = level_for_symbol(symbol);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> LevelCoder::bits_for_levels(
+    std::span<const std::size_t> levels) const {
+  std::vector<std::uint8_t> out(levels.size() * bits_);
+  for (std::size_t cell = 0; cell < levels.size(); ++cell) {
+    const std::uint64_t symbol = symbol_for_level(levels[cell]);
+    for (std::size_t b = 0; b < bits_; ++b) {
+      out[cell * bits_ + b] = static_cast<std::uint8_t>((symbol >> b) & 1u);
+    }
+  }
+  return out;
+}
+
+}  // namespace oxmlc::ecc

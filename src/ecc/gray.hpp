@@ -1,0 +1,50 @@
+// Gray-coded level <-> bit mapping for multi-level cells.
+//
+// Multi-level storage fails mostly by one-level slips: a cell drifts or is
+// read one allocation level off. Storing the b-bit symbol N at the level
+// whose Gray code is N (program L = gray_decode(N), read back N =
+// gray_encode(L)) guarantees a one-level slip flips exactly ONE stored bit,
+// which turns the dominant device failure into the error class SECDED/BCH-1
+// codes are built for. `LevelCoder` packs whole bit vectors into per-cell
+// level words (and back) for any 1..6 bits per cell — the paper's 4-bit
+// allocation plus the 5/6-bit density targets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace oxmlc::ecc {
+
+// Reflected binary Gray code over any bit width.
+std::uint64_t gray_encode(std::uint64_t value);
+std::uint64_t gray_decode(std::uint64_t gray);
+
+// Maps bit vectors (one std::uint8_t per bit, values 0/1, LSB of each cell
+// symbol first) onto per-cell allocation levels through the Gray code.
+class LevelCoder {
+ public:
+  // bits_per_cell must be in 1..6 (up to the paper's 64-level stretch goal).
+  explicit LevelCoder(std::size_t bits_per_cell);
+
+  std::size_t bits_per_cell() const { return bits_; }
+  std::size_t levels() const { return std::size_t{1} << bits_; }
+
+  // Cells needed to hold n bits (the last cell's high bits pad with zeros).
+  std::size_t cells_for_bits(std::size_t n_bits) const;
+
+  // Per-cell symbol <-> allocation level. Levels must be < levels().
+  std::size_t level_for_symbol(std::uint64_t symbol) const;
+  std::uint64_t symbol_for_level(std::size_t level) const;
+
+  // Packs a bit vector into cells_for_bits(bits.size()) target levels.
+  std::vector<std::size_t> levels_for_bits(std::span<const std::uint8_t> bits) const;
+
+  // Unpacks per-cell levels back into levels.size() * bits_per_cell() bits.
+  std::vector<std::uint8_t> bits_for_levels(std::span<const std::size_t> levels) const;
+
+ private:
+  std::size_t bits_;
+};
+
+}  // namespace oxmlc::ecc

@@ -1,21 +1,9 @@
-#include "mlc/ecc.hpp"
+#include "ecc/secded.hpp"
 
 #include <array>
 #include <bit>
 
-#include "util/error.hpp"
-
-namespace oxmlc::mlc {
-
-std::uint64_t gray_encode(std::uint64_t value) { return value ^ (value >> 1); }
-
-std::uint64_t gray_decode(std::uint64_t gray) {
-  std::uint64_t value = gray;
-  for (std::uint64_t shift = 1; shift < 64; shift <<= 1) {
-    value ^= value >> shift;
-  }
-  return value;
-}
+namespace oxmlc::ecc {
 
 namespace {
 
@@ -165,4 +153,4 @@ EccDecodeResult secded_decode(const SecdedWord& word) {
   return result;
 }
 
-}  // namespace oxmlc::mlc
+}  // namespace oxmlc::ecc

@@ -8,14 +8,35 @@
 
 namespace oxmlc::memsys {
 
+const char* scheduler_policy_name(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFcfs:
+      return "fcfs";
+    case SchedulerPolicy::kFrFcfs:
+      return "fr_fcfs";
+    case SchedulerPolicy::kWriteDrain:
+      return "write_drain";
+  }
+  throw InternalError("scheduler_policy_name: unhandled policy");
+}
+
+SchedulerPolicy parse_scheduler_policy(const std::string& name) {
+  if (name == "FCFS") return SchedulerPolicy::kFcfs;
+  if (name == "FR_FCFS") return SchedulerPolicy::kFrFcfs;
+  if (name == "WRITE_DRAIN") return SchedulerPolicy::kWriteDrain;
+  throw InvalidArgumentError("memsys geometry: SCHED_POLICY must be FCFS, FR_FCFS or "
+                             "WRITE_DRAIN, got '" +
+                             name + "'");
+}
+
 void GeometryConfig::validate() const {
   OXMLC_CHECK(channels > 0, "memsys geometry: CHANNELS must be positive");
   OXMLC_CHECK(banks_per_channel > 0, "memsys geometry: BANKS must be positive");
   OXMLC_CHECK(rows_per_bank > 0, "memsys geometry: ROWS must be positive");
   OXMLC_CHECK(words_per_row > 0, "memsys geometry: WORDS_PER_ROW must be positive");
   OXMLC_CHECK(cells_per_word > 0, "memsys geometry: CELLS_PER_WORD must be positive");
-  OXMLC_CHECK(bits_per_cell >= 1 && bits_per_cell <= 4,
-              "memsys geometry: BITS_PER_CELL must be in [1, 4], got " +
+  OXMLC_CHECK(bits_per_cell >= 1 && bits_per_cell <= 6,
+              "memsys geometry: BITS_PER_CELL must be in [1, 6], got " +
                   std::to_string(bits_per_cell));
   OXMLC_CHECK(cells_per_word * bits_per_cell % 8 == 0,
               "memsys geometry: CELLS_PER_WORD x BITS_PER_CELL (" +
@@ -30,6 +51,10 @@ void GeometryConfig::validate() const {
                   "]");
   OXMLC_CHECK(timing.t_scrub > 0, "memsys geometry: tSCRUB must be positive");
   OXMLC_CHECK(queue_depth > 0, "memsys geometry: QUEUE_DEPTH must be positive");
+  OXMLC_CHECK(scheduler_policy != SchedulerPolicy::kWriteDrain ||
+                  write_drain_threshold > 0,
+              "memsys geometry: WRITE_DRAIN_THRESHOLD must be positive under "
+              "SCHED_POLICY WRITE_DRAIN");
 }
 
 GeometryConfig GeometryConfig::rram_isscc_2012() {
@@ -151,6 +176,10 @@ GeometryConfig parse_memsys_config(const std::string& text) {
       config.timing.t_scrub = parse_u64_field(key, value, line_no);
     } else if (key == "QUEUE_DEPTH") {
       config.queue_depth = parse_u64_field(key, value, line_no);
+    } else if (key == "SCHED_POLICY") {
+      config.scheduler_policy = parse_scheduler_policy(value);
+    } else if (key == "WRITE_DRAIN_THRESHOLD") {
+      config.write_drain_threshold = parse_u64_field(key, value, line_no);
     } else if (key == "SCRUB_INTERVAL") {
       config.scrub_interval_cycles = parse_u64_field(key, value, line_no);
     } else if (key == "ROTATE_EVERY_WRITES") {

@@ -44,15 +44,32 @@ struct TimingParams {
   double cycle_s() const { return 1e-6 / clk_mhz; }
 };
 
+// Per-bank arbitration among queued requests (CommandScheduler):
+//   kFcfs       strict arrival order, row locality ignored;
+//   kFrFcfs     oldest open-row hit first, else oldest (the classic default);
+//   kWriteDrain FR-FCFS, but once queued writes reach write_drain_threshold
+//               the bank drains writes (FR among them) until none remain —
+//               the standard answer to µs-class RRAM write pulses starving
+//               behind a read stream.
+enum class SchedulerPolicy { kFcfs, kFrFcfs, kWriteDrain };
+
+// Stable lowercase names ("fcfs", "fr_fcfs", "write_drain") for reports.
+const char* scheduler_policy_name(SchedulerPolicy policy);
+// Parses the .memcfg spelling (case-sensitive: FCFS, FR_FCFS, WRITE_DRAIN).
+// Throws InvalidArgumentError on anything else.
+SchedulerPolicy parse_scheduler_policy(const std::string& name);
+
 struct GeometryConfig {
   std::size_t channels = 4;
   std::size_t banks_per_channel = 4;
   std::size_t rows_per_bank = 8192;
   std::size_t words_per_row = 512;   // device words per row (column positions)
   std::size_t cells_per_word = 8;    // bit lines per parallel word access
-  std::size_t bits_per_cell = 4;     // QLC by default (Table 2)
+  std::size_t bits_per_cell = 4;     // QLC by default (Table 2); up to 6
   TimingParams timing;
   std::size_t queue_depth = 32;      // per-bank request queue capacity
+  SchedulerPolicy scheduler_policy = SchedulerPolicy::kFrFcfs;
+  std::size_t write_drain_threshold = 16;  // queued writes that trigger a drain
   // Maintenance policy. scrub_interval_cycles = 0 disables scrub injection;
   // rotate_every_writes = 0 disables start-gap wear leveling.
   std::uint64_t scrub_interval_cycles = 2'000'000;
@@ -99,8 +116,10 @@ std::uint64_t encode_address(const GeometryConfig& geometry, const DecodedAddres
 // comments, unknown keys rejected with the line number. Keys are the field
 // names above (CHANNELS, BANKS, ROWS, WORDS_PER_ROW, CELLS_PER_WORD,
 // BITS_PER_CELL, CLK_MHZ, tRCD, tCAS, tBURST, tRP, tWP_MIN, tWP_MAX, tSCRUB,
-// QUEUE_DEPTH, SCRUB_INTERVAL, ROTATE_EVERY_WRITES); unspecified keys keep
-// the rram_isscc_2012 defaults. The parsed config is validate()d.
+// QUEUE_DEPTH, SCHED_POLICY, WRITE_DRAIN_THRESHOLD, SCRUB_INTERVAL,
+// ROTATE_EVERY_WRITES); unspecified keys keep the rram_isscc_2012 defaults.
+// SCHED_POLICY takes FCFS | FR_FCFS | WRITE_DRAIN. The parsed config is
+// validate()d.
 GeometryConfig parse_memsys_config(const std::string& text);
 GeometryConfig load_memsys_config(const std::string& path);
 

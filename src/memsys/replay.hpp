@@ -27,10 +27,11 @@
 #include "memsys/scheduler.hpp"
 #include "memsys/trace.hpp"
 #include "obs/json.hpp"
+#include "util/schema.hpp"
 
 namespace oxmlc::memsys {
 
-inline constexpr const char* kMemsysSchema = "oxmlc.memsys.v1";
+inline constexpr const char* kMemsysSchema = util::kMemsysSchema;
 
 struct LatencySummary {
   double mean_ns = 0.0;

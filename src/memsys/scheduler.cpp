@@ -61,6 +61,9 @@ ScheduleResult CommandScheduler::run(std::span<const TraceRequest> trace) {
   std::vector<std::uint64_t> next_scrub_at(
       n_banks, g.scrub_interval_cycles > 0 ? g.scrub_interval_cycles : kNever);
   std::vector<std::uint64_t> channel_free_at(g.channels, 0);
+  // Write-drain state, per bank: set when queued writes reach the threshold,
+  // cleared when the last queued write retires.
+  std::vector<char> draining(n_banks, 0);
 
   std::size_t admit_index = 0;
   std::uint64_t last_arrival = 0;
@@ -117,16 +120,37 @@ ScheduleResult CommandScheduler::run(std::span<const TraceRequest> trace) {
     }
     std::deque<Pending>& queue = queues[bank];
     if (queue.empty()) return;
-    // FR-FCFS: oldest open-row hit wins; otherwise the oldest request.
-    std::size_t pick = 0;
-    if (open_row[bank] != kNoOpenRow) {
+    // Arbitration. FR-FCFS picks the oldest request hitting the open row,
+    // falling back to the oldest overall; FCFS is strict arrival order; the
+    // write-drain policy is FR-FCFS restricted to writes while the bank
+    // drains (entered at write_drain_threshold queued writes, left when none
+    // remain), so µs-class RESET pulses retire in batches instead of
+    // trickling between reads.
+    const auto fr_pick = [&](bool writes_only) {
+      std::size_t oldest = queue.size();
       for (std::size_t i = 0; i < queue.size(); ++i) {
-        if (queue[i].row == open_row[bank]) {
-          pick = i;
-          break;
-        }
+        if (writes_only && !queue[i].is_write) continue;
+        if (oldest == queue.size()) oldest = i;
+        if (open_row[bank] != kNoOpenRow && queue[i].row == open_row[bank]) return i;
       }
-      if (queue[pick].row != open_row[bank]) pick = 0;
+      return oldest;
+    };
+    std::size_t pick = 0;
+    switch (g.scheduler_policy) {
+      case SchedulerPolicy::kFcfs:
+        pick = 0;
+        break;
+      case SchedulerPolicy::kFrFcfs:
+        pick = fr_pick(false);
+        break;
+      case SchedulerPolicy::kWriteDrain: {
+        std::size_t queued_writes = 0;
+        for (const Pending& p : queue) queued_writes += p.is_write ? 1 : 0;
+        if (queued_writes >= g.write_drain_threshold) draining[bank] = 1;
+        if (queued_writes == 0) draining[bank] = 0;
+        pick = draining[bank] != 0 ? fr_pick(true) : fr_pick(false);
+        break;
+      }
     }
     const Pending pending = queue[pick];
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));

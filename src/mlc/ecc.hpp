@@ -1,51 +1,29 @@
-// SECDED ECC over QLC payloads.
+// DEPRECATED shim — the SECDED/Gray implementation moved to src/ecc/.
 //
-// Multi-level storage trades margin for density; every shipping MLC memory
-// therefore pairs the cell array with an error-correcting code. This module
-// implements the classic Hamming(72,64) + overall parity SECDED used by
-// memory controllers: 64 payload bits -> 72 stored bits, correcting any
-// single-bit error and detecting any double-bit error per word.
+// The code layer grew into its own rank-ordered module (`src/ecc`: Gray
+// level<->bit mapping, SECDED, BCH-t, the error-injection channel and the
+// policy explorer). This header keeps the original `oxmlc::mlc` spellings
+// compiling for existing includes; new code should include "ecc/gray.hpp" /
+// "ecc/secded.hpp" and link `oxmlc_ecc` directly.
 //
-// With 4-bit cells a 72-bit codeword occupies 18 cells; a single-level decode
-// slip (the dominant QLC failure: a cell read one level off) can flip up to
-// four bits of a binary nibble. Storing nibble N at the level whose Gray code
-// is N (program L = gray_decode(N), read N = gray_encode(L)) guarantees a
-// one-level slip flips exactly ONE stored bit, which SECDED then corrects —
-// the standard MLC trick, applied here to the paper's Table 2 allocation.
+// Layering note: this file is carved out of mlc and treated as a member of
+// the ecc module by scripts/check_layering.py (the spice/netlist.hpp
+// precedent), so the includes below are same-module edges, not mlc -> ecc
+// back-edges.
 #pragma once
 
-#include <cstdint>
-#include <optional>
+#include "ecc/gray.hpp"
+#include "ecc/secded.hpp"
 
 namespace oxmlc::mlc {
 
-// --- Gray code over level values (any bit width) ---
-std::uint64_t gray_encode(std::uint64_t value);
-std::uint64_t gray_decode(std::uint64_t gray);
+using ecc::gray_decode;
+using ecc::gray_encode;
 
-// --- Hamming(72,64) SECDED ---
-struct SecdedWord {
-  std::uint64_t data = 0;     // 64 payload bits
-  std::uint8_t check = 0;     // 7 Hamming check bits + 1 overall parity
-};
-
-enum class EccStatus {
-  kClean,            // no error detected
-  kCorrectedSingle,  // one bit flipped and repaired
-  kDetectedDouble,   // uncorrectable double error detected
-};
-
-struct EccDecodeResult {
-  std::uint64_t data = 0;
-  EccStatus status = EccStatus::kClean;
-  // Bit position (0..71 in codeword numbering) of a corrected single error.
-  std::optional<unsigned> corrected_bit;
-};
-
-// Encodes 64 payload bits into a SECDED word.
-SecdedWord secded_encode(std::uint64_t data);
-
-// Decodes a (possibly corrupted) SECDED word.
-EccDecodeResult secded_decode(const SecdedWord& word);
+using ecc::EccDecodeResult;
+using ecc::EccStatus;
+using ecc::SecdedWord;
+using ecc::secded_decode;
+using ecc::secded_encode;
 
 }  // namespace oxmlc::mlc

@@ -26,10 +26,11 @@
 #include "obs/json.hpp"
 #include "oxram/drift.hpp"
 #include "reliability/engine.hpp"
+#include "util/schema.hpp"
 
 namespace oxmlc::mlc {
 
-inline constexpr const char* kRetentionSchema = "oxmlc.retention.v1";
+inline constexpr const char* kRetentionSchema = util::kRetentionSchema;
 
 struct RetentionConfig {
   McStudyConfig study;        // allocation, device, variability, mc depth/seed

@@ -17,10 +17,11 @@
 
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "util/schema.hpp"
 
 namespace oxmlc::obs {
 
-inline constexpr const char* kMetricsSchema = "oxmlc.metrics.v1";
+inline constexpr const char* kMetricsSchema = util::kMetricsSchema;
 
 Json to_json(const MetricsSnapshot& snapshot);
 

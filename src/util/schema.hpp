@@ -1,0 +1,33 @@
+// Central registry of report schema version strings.
+//
+// Every machine-readable report the toolchain emits carries a "schema" tag so
+// downstream consumers (CI assertions, compare_bench.py, notebook loaders)
+// can hard-fail on shape drift instead of silently misreading fields. The
+// version strings themselves used to live as ad-hoc literals next to each
+// emitter; they are collected here — rank 0, includable from anywhere — and
+// pinned by a test so a schema bump is always a deliberate, reviewed edit.
+//
+// Versioning contract: a tag is append-only frozen. Changing the shape of a
+// report means minting "oxmlc.<name>.v<N+1>" here, never mutating the meaning
+// of an existing tag.
+#pragma once
+
+namespace oxmlc::util {
+
+// obs::MetricsSnapshot JSON/CSV exporter (src/obs/export.hpp).
+inline constexpr const char* kMetricsSchema = "oxmlc.metrics.v1";
+
+// Static-analyzer lint reports (src/spice/analyze/diagnostic.hpp). v2 = v1 +
+// the OXC0xx configuration-lint code namespace and a top-level "domain" key.
+inline constexpr const char* kLintSchema = "oxmlc.lint.v2";
+
+// Monte-Carlo retention study (src/mlc/retention.hpp).
+inline constexpr const char* kRetentionSchema = "oxmlc.retention.v1";
+
+// Trace-driven memory-system replay (src/memsys/replay.hpp).
+inline constexpr const char* kMemsysSchema = "oxmlc.memsys.v1";
+
+// ECC + scrub + wear-leveling policy explorer (src/ecc/explorer.hpp).
+inline constexpr const char* kEccSchema = "oxmlc.ecc.v1";
+
+}  // namespace oxmlc::util

@@ -120,6 +120,39 @@ TEST(CliContract, SyntheticTraceReplayEmitsTheMemsysSchema) {
   std::remove(report_path.c_str());
 }
 
+TEST(CliContract, EccExplorerEmitsTheEccSchema) {
+  // One reference word per policy point keeps this black-box run at seconds
+  // scale; the in-process explorer tests cover depth, determinism and the
+  // monotone ladder. Here the contract is: exit 0, a frontier on stdout, and
+  // a parseable oxmlc.ecc.v1 report with the monotonicity bit set.
+  const std::string report_path = temp_path("oxmlc_cli_ecc.json");
+  const RunResult result =
+      run_sim("--ecc --bits 4 --trials 1 --seed 3 --report '" + report_path + "'");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("frontier"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("uber monotone in code strength: yes"),
+            std::string::npos)
+      << result.output;
+
+  std::ifstream in(report_path);
+  ASSERT_TRUE(in.good()) << "report not written: " << report_path;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const obs::Json document = obs::Json::parse(text);
+  EXPECT_EQ(document.get("schema").as_string(), "oxmlc.ecc.v1");
+  EXPECT_TRUE(document.get("uber_monotone").as_bool());
+  EXPECT_EQ(document.get("seed").as_number(), 3.0);
+  EXPECT_GT(document.get("frontier").size(), 0u);
+  std::remove(report_path.c_str());
+}
+
+TEST(CliContract, EccRejectsOutOfRangeBits) {
+  const RunResult result = run_sim("--ecc --bits 7");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("--bits must be in 1..6"), std::string::npos)
+      << result.output;
+}
+
 #else  // !OXMLC_SIM_PATH
 
 TEST(CliContract, SkippedWithoutTheSimBinary) {

@@ -1,5 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ecc/bch.hpp"
+#include "ecc/channel.hpp"
+#include "ecc/code.hpp"
+#include "ecc/explorer.hpp"
 #include "mlc/ecc.hpp"
 #include "mlc/program.hpp"
 #include "util/rng.hpp"
@@ -245,3 +254,364 @@ TEST(SecdedQlc, BinaryMappingWouldNotEnjoyThatGuarantee) {
 
 }  // namespace
 }  // namespace oxmlc::mlc
+
+namespace oxmlc::ecc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LevelCoder: the Gray level <-> bit packing behind every code in the module
+// ---------------------------------------------------------------------------
+
+TEST(LevelCoder, AdjacentLevelsDifferInExactlyOneBit) {
+  // The property MLC ECC is built on, at every density target: slipping one
+  // allocation level flips exactly one stored bit.
+  for (const std::size_t bits : {std::size_t{4}, std::size_t{5}, std::size_t{6}}) {
+    const LevelCoder coder(bits);
+    for (std::size_t level = 0; level + 1 < coder.levels(); ++level) {
+      const std::uint64_t diff =
+          coder.symbol_for_level(level) ^ coder.symbol_for_level(level + 1);
+      EXPECT_EQ(std::popcount(diff), 1) << bits << " bpc, level " << level;
+    }
+  }
+}
+
+TEST(LevelCoder, SymbolLevelRoundTripCoversEveryValue) {
+  for (std::size_t bits = 1; bits <= 6; ++bits) {
+    const LevelCoder coder(bits);
+    for (std::uint64_t symbol = 0; symbol < coder.levels(); ++symbol) {
+      EXPECT_EQ(coder.symbol_for_level(coder.level_for_symbol(symbol)), symbol);
+    }
+  }
+}
+
+TEST(LevelCoder, BitVectorRoundTripWithPadding) {
+  // 72-bit SECDED words do not divide evenly into 5- or 6-bit cells: the pack
+  // must round-trip the payload prefix and keep the pad bits zero.
+  Rng rng(11);
+  for (std::size_t bits = 1; bits <= 6; ++bits) {
+    const LevelCoder coder(bits);
+    std::vector<std::uint8_t> payload(72);
+    for (auto& b : payload) b = rng.uniform() < 0.5 ? 1 : 0;
+    const std::vector<std::size_t> levels = coder.levels_for_bits(payload);
+    EXPECT_EQ(levels.size(), coder.cells_for_bits(payload.size()));
+    const std::vector<std::uint8_t> unpacked = coder.bits_for_levels(levels);
+    ASSERT_GE(unpacked.size(), payload.size());
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      EXPECT_EQ(unpacked[i], payload[i]) << bits << " bpc, bit " << i;
+    }
+    for (std::size_t i = payload.size(); i < unpacked.size(); ++i) {
+      EXPECT_EQ(unpacked[i], 0) << bits << " bpc, pad bit " << i;
+    }
+  }
+}
+
+TEST(LevelCoder, CellsForBitsRoundsUp) {
+  EXPECT_EQ(LevelCoder(4).cells_for_bits(72), 18u);
+  EXPECT_EQ(LevelCoder(5).cells_for_bits(72), 15u);
+  EXPECT_EQ(LevelCoder(6).cells_for_bits(72), 12u);
+  EXPECT_EQ(LevelCoder(6).cells_for_bits(63), 11u);
+}
+
+// ---------------------------------------------------------------------------
+// GF(2^m) arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(GaloisField, MultiplicativeInverseHoldsForEveryElement) {
+  for (unsigned m = 3; m <= 10; ++m) {
+    const GaloisField field(m);
+    for (unsigned a = 1; a <= field.size(); ++a) {
+      EXPECT_EQ(field.mul(a, field.inv(a)), 1u) << "m=" << m << ", a=" << a;
+    }
+  }
+}
+
+TEST(GaloisField, AlphaPowersCycleWithPeriodN) {
+  const GaloisField field(6);
+  EXPECT_EQ(field.alpha_pow(0), 1u);
+  EXPECT_EQ(field.alpha_pow(static_cast<int>(field.size())), 1u);
+  EXPECT_EQ(field.alpha_pow(-1), field.inv(field.alpha_pow(1)));
+  for (unsigned e = 0; e < field.size(); ++e) {
+    EXPECT_EQ(field.log(field.alpha_pow(static_cast<int>(e))), e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BCH encode/decode: exhaustive within t, honest accounting beyond it
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> random_bits(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.uniform() < 0.5 ? 1 : 0;
+  return bits;
+}
+
+TEST(Bch, CleanRoundTripAcrossTheLadder) {
+  Rng rng(21);
+  for (unsigned t = 1; t <= 3; ++t) {
+    const BchCode code(6, t);
+    EXPECT_EQ(code.n(), 63u);
+    EXPECT_EQ(code.k(), 63u - 6u * t);
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::vector<std::uint8_t> data = random_bits(rng, code.k());
+      const std::vector<std::uint8_t> word = code.encode(data);
+      const BchCode::DecodeResult result = code.decode(word);
+      EXPECT_TRUE(result.ok);
+      EXPECT_EQ(result.corrected, 0u);
+      EXPECT_EQ(result.data, data);
+    }
+  }
+}
+
+// Every weight <= t pattern must decode back to the payload with exactly
+// `weight` corrections. t=1 sweeps all 63 singles, t=2 all 1953 pairs, t=3
+// all 39711 triples — the full guarantee, not a sample.
+TEST(Bch, ExhaustiveSingleErrorsCorrectedAtT1) {
+  Rng rng(22);
+  const BchCode code(6, 1);
+  const std::vector<std::uint8_t> data = random_bits(rng, code.k());
+  const std::vector<std::uint8_t> word = code.encode(data);
+  for (std::size_t a = 0; a < code.n(); ++a) {
+    std::vector<std::uint8_t> corrupted = word;
+    corrupted[a] ^= 1;
+    const BchCode::DecodeResult result = code.decode(corrupted);
+    EXPECT_TRUE(result.ok) << a;
+    EXPECT_EQ(result.corrected, 1u) << a;
+    EXPECT_EQ(result.data, data) << a;
+  }
+}
+
+TEST(Bch, ExhaustiveDoubleErrorsCorrectedAtT2) {
+  Rng rng(23);
+  const BchCode code(6, 2);
+  const std::vector<std::uint8_t> data = random_bits(rng, code.k());
+  const std::vector<std::uint8_t> word = code.encode(data);
+  for (std::size_t a = 0; a < code.n(); ++a) {
+    for (std::size_t b = a + 1; b < code.n(); ++b) {
+      std::vector<std::uint8_t> corrupted = word;
+      corrupted[a] ^= 1;
+      corrupted[b] ^= 1;
+      const BchCode::DecodeResult result = code.decode(corrupted);
+      ASSERT_TRUE(result.ok) << a << "," << b;
+      ASSERT_EQ(result.corrected, 2u) << a << "," << b;
+      ASSERT_EQ(result.data, data) << a << "," << b;
+    }
+  }
+}
+
+TEST(Bch, ExhaustiveTripleErrorsCorrectedAtT3) {
+  Rng rng(24);
+  const BchCode code(6, 3);
+  const std::vector<std::uint8_t> data = random_bits(rng, code.k());
+  const std::vector<std::uint8_t> word = code.encode(data);
+  for (std::size_t a = 0; a < code.n(); ++a) {
+    for (std::size_t b = a + 1; b < code.n(); ++b) {
+      std::vector<std::uint8_t> corrupted = word;
+      corrupted[a] ^= 1;
+      corrupted[b] ^= 1;
+      for (std::size_t c = b + 1; c < code.n(); ++c) {
+        corrupted[c] ^= 1;
+        const BchCode::DecodeResult result = code.decode(corrupted);
+        ASSERT_TRUE(result.ok) << a << "," << b << "," << c;
+        ASSERT_EQ(result.corrected, 3u) << a << "," << b << "," << c;
+        ASSERT_EQ(result.data, data) << a << "," << b << "," << c;
+        corrupted[c] ^= 1;
+      }
+    }
+  }
+}
+
+TEST(Bch, BeyondTIsDetectedOrMiscorrectedNeverSilent) {
+  // Bounded-distance honesty: a weight > t pattern can never decode back to
+  // the original codeword (that would take > t flips), so every trial must
+  // land in exactly one of two buckets — detected_uncorrectable, or a
+  // miscorrection to a DIFFERENT codeword with at most t claimed flips. The
+  // decoder must never throw and never claim more than t corrections.
+  Rng rng(25);
+  for (unsigned t = 1; t <= 3; ++t) {
+    const BchCode code(6, t);
+    int detected = 0;
+    int miscorrected = 0;
+    const int trials = 400;
+    for (int trial = 0; trial < trials; ++trial) {
+      const std::vector<std::uint8_t> data = random_bits(rng, code.k());
+      std::vector<std::uint8_t> word = code.encode(data);
+      const unsigned weight =
+          t + 1 + static_cast<unsigned>(rng.uniform_index(6));
+      std::vector<std::size_t> positions(code.n());
+      for (std::size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+      for (unsigned f = 0; f < weight; ++f) {
+        const std::size_t j = f + rng.uniform_index(positions.size() - f);
+        std::swap(positions[f], positions[j]);
+        word[positions[f]] ^= 1;
+      }
+      BchCode::DecodeResult result;
+      ASSERT_NO_THROW(result = code.decode(word)) << "t=" << t << " trial " << trial;
+      EXPECT_LE(result.corrected, t) << "t=" << t << " trial " << trial;
+      if (result.detected_uncorrectable) {
+        EXPECT_FALSE(result.ok);
+        ++detected;
+      } else {
+        EXPECT_TRUE(result.ok);
+        EXPECT_NE(result.data, data) << "t=" << t << " trial " << trial;
+        ++miscorrected;
+      }
+    }
+    EXPECT_EQ(detected + miscorrected, trials) << "t=" << t;
+    // t=1 at n=63 is the perfect Hamming code: every syndrome points at a
+    // word within distance 1, so beyond-t errors ALWAYS miscorrect there.
+    // The t=2/t=3 codes are not perfect and must detect some patterns.
+    if (t == 1) {
+      EXPECT_EQ(detected, 0);
+    } else {
+      EXPECT_GT(detected, 0) << "t=" << t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Code catalog: the uniform interface the explorer scores against
+// ---------------------------------------------------------------------------
+
+TEST(CodeCatalog, LadderShapesAndOverheads) {
+  const std::vector<std::unique_ptr<Code>> catalog = default_catalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  EXPECT_EQ(catalog[0]->spec().name, "none_63");
+  EXPECT_EQ(catalog[1]->spec().name, "bch_63_57_t1");
+  EXPECT_EQ(catalog[2]->spec().name, "bch_63_51_t2");
+  EXPECT_EQ(catalog[3]->spec().name, "bch_63_45_t3");
+  EXPECT_EQ(catalog[4]->spec().name, "secded_72_64");
+  // The fixed-block ladder: same n, strictly increasing t, increasing
+  // overhead — the structure the monotone-UBER claim rides on.
+  for (std::size_t c = 0; c + 1 < 4; ++c) {
+    EXPECT_EQ(catalog[c]->spec().n, 63u);
+    EXPECT_TRUE(catalog[c]->spec().same_block);
+    EXPECT_LT(catalog[c]->spec().t, catalog[c + 1]->spec().t);
+    EXPECT_LT(catalog[c]->spec().overhead(), catalog[c + 1]->spec().overhead());
+  }
+  EXPECT_FALSE(catalog[4]->spec().same_block);
+  Rng rng(31);
+  for (const auto& code : catalog) {
+    const std::vector<std::uint8_t> data = random_bits(rng, code->spec().k);
+    std::vector<std::uint8_t> stored = code->encode(data);
+    ASSERT_EQ(stored.size(), code->spec().n);
+    Code::Decoded clean = code->decode(stored);
+    EXPECT_FALSE(clean.uncorrectable) << code->spec().name;
+    EXPECT_EQ(clean.data, data) << code->spec().name;
+    if (code->spec().t > 0) {
+      stored[rng.uniform_index(stored.size())] ^= 1;
+      Code::Decoded fixed = code->decode(stored);
+      EXPECT_FALSE(fixed.uncorrectable) << code->spec().name;
+      EXPECT_EQ(fixed.data, data) << code->spec().name;
+      EXPECT_EQ(fixed.corrected_bits, 1u) << code->spec().name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Channel bridge: physics levels -> Gray bit errors, wear leveling
+// ---------------------------------------------------------------------------
+
+TEST(Channel, OneLevelSlipYieldsExactlyOneErrorBit) {
+  const LevelCoder coder(4);
+  const std::vector<std::size_t> target = {3, 7, 0, 15, 8};
+  std::vector<std::size_t> observed = target;
+  observed[1] = 8;  // one-level slip 7 -> 8 (four bits apart in binary)
+  const std::vector<std::uint8_t> errors = error_bits(coder, target, observed);
+  ASSERT_EQ(errors.size(), target.size() * 4);
+  unsigned total = 0;
+  for (const std::uint8_t e : errors) total += e;
+  EXPECT_EQ(total, 1u);
+  // The flip must land inside cell 1's bit window.
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (errors[i] != 0) {
+      EXPECT_GE(i, 4u);
+      EXPECT_LT(i, 8u);
+    }
+  }
+}
+
+TEST(Channel, EffectiveCyclesInterpolatesHotToUniform) {
+  WearLevelingModel model;
+  model.lifetime_writes = 1e7;
+  model.region_rows = 4096;
+  model.hot_row_share = 0.5;
+  const double hot = model.hot_row_share * model.lifetime_writes;
+  const double uniform = model.lifetime_writes / static_cast<double>(model.region_rows);
+  // No rotation: the hot row absorbs its full share.
+  EXPECT_DOUBLE_EQ(effective_cycles(model, 0), hot);
+  // Rotating every write revolves lifetime/(1 * 4096) ~ 2441 times >= 1 full
+  // leveling pass: the billed wear collapses to the uniform floor.
+  EXPECT_DOUBLE_EQ(effective_cycles(model, 1), uniform);
+  // A partial revolution interpolates between the two.
+  const double partial = effective_cycles(model, 10'000);
+  EXPECT_GT(partial, uniform);
+  EXPECT_LT(partial, hot);
+  // More frequent rotation never increases billed wear.
+  EXPECT_LE(effective_cycles(model, 2000), effective_cycles(model, 20'000));
+}
+
+// ---------------------------------------------------------------------------
+// Policy explorer: monotone ladder, schema, thread-count determinism
+// ---------------------------------------------------------------------------
+
+EccStudyConfig tiny_study() {
+  EccStudyConfig config;
+  config.bits = {4};
+  config.scrub_periods_s = {0.0};
+  config.verify = {false, true};
+  config.rotations = {0};
+  config.trials = 2;
+  config.mc_trials = 4;
+  config.probe_requests = 256;
+  config.seed = 0x7E57ULL;
+  return config;
+}
+
+TEST(EccExplorer, TinyStudyHasMonotoneLadderAndSaneFrontier) {
+  EccStudyConfig config = tiny_study();
+  config.threads = 1;
+  const EccReport report = run_ecc_study(config);
+  ASSERT_EQ(report.points.size(), 2u);
+  EXPECT_TRUE(uber_monotone(report));
+  ASSERT_FALSE(report.frontier.empty());
+  // Within each bits group the frontier is overhead-sorted with strictly
+  // improving uber — the definition of a Pareto scan.
+  for (std::size_t i = 1; i < report.frontier.size(); ++i) {
+    if (report.frontier[i].bits != report.frontier[i - 1].bits) continue;
+    EXPECT_GE(report.frontier[i].total_overhead, report.frontier[i - 1].total_overhead);
+    EXPECT_LT(report.frontier[i].uber, report.frontier[i - 1].uber);
+  }
+  // Every policy point scores the full catalog with consistent accounting.
+  for (const PolicyPointOutcome& point : report.points) {
+    ASSERT_EQ(point.codes.size(), 5u);
+    for (const CodeOutcome& code : point.codes) {
+      EXPECT_EQ(code.words, config.trials);
+      EXPECT_EQ(code.stored_bits, code.words * code.n);
+      EXPECT_EQ(code.data_bits, code.words * code.k);
+      EXPECT_LE(code.failed_words, code.errored_words);
+      EXPECT_LE(code.detected_words + code.miscorrected_words, code.words);
+    }
+    EXPECT_TRUE(point.probe.ran);
+  }
+  const std::string json = to_json(report).dump(2);
+  EXPECT_NE(json.find("\"schema\": \"oxmlc.ecc.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"uber_monotone\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"frontier\""), std::string::npos);
+}
+
+TEST(EccExplorer, ReportIsBitIdenticalAcrossThreadCounts) {
+  // The acceptance contract: the (seed, index) RNG plane makes the whole
+  // report — physics, scoring, frontier — independent of the worker count.
+  EccStudyConfig config = tiny_study();
+  config.threads = 1;
+  const std::string one = to_json(run_ecc_study(config)).dump(2);
+  config.threads = 2;
+  const std::string two = to_json(run_ecc_study(config)).dump(2);
+  config.threads = 8;
+  const std::string eight = to_json(run_ecc_study(config)).dump(2);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+}  // namespace
+}  // namespace oxmlc::ecc

@@ -330,6 +330,119 @@ TEST(Scheduler, FrFcfsPrefersOpenRowHitOverOlderConflict) {
             trace[1].cycle + result.latency_cycles[1]);
 }
 
+TEST(Scheduler, FcfsServesStrictArrivalOrderIgnoringRowLocality) {
+  // The same trace as FrFcfsPrefersOpenRowHitOverOlderConflict under strict
+  // FCFS: the older row-8 request issues first (conflict), which closes row 5,
+  // so the queued row-5 request pays a SECOND conflict instead of a hit.
+  GeometryConfig g = tiny_geometry();
+  g.scheduler_policy = SchedulerPolicy::kFcfs;
+  const std::vector<TraceRequest> trace = {
+      {0, false, addr(g, 5, 0), 0},  // warms row 5 (MISS), bank busy
+      {1, false, addr(g, 8, 0), 0},  // older: conflict row
+      {2, false, addr(g, 5, 1), 0},  // younger: would hit under FR-FCFS
+  };
+  CommandScheduler scheduler(g);
+  const ScheduleResult result = scheduler.run(trace);
+  ASSERT_EQ(result.banks.size(), 1u);
+  EXPECT_EQ(result.banks[0].row_hits, 0u);
+  EXPECT_EQ(result.banks[0].row_misses, 1u);      // only the warmup
+  EXPECT_EQ(result.banks[0].row_conflicts, 2u);   // row 8, then row 5 again
+  // Arrival order is completion order.
+  EXPECT_LT(trace[1].cycle + result.latency_cycles[1],
+            trace[2].cycle + result.latency_cycles[2]);
+}
+
+TEST(Scheduler, WriteDrainBatchesWritesPastAnOlderReadHit) {
+  // Three requests queue behind a warmup read: write, read (open-row hit),
+  // write. With two writes queued the threshold trips, the bank drains BOTH
+  // writes back to back — even past the older read that FR-FCFS would serve
+  // first as a row hit — and only then returns to the read stream.
+  GeometryConfig g = tiny_geometry();
+  g.scheduler_policy = SchedulerPolicy::kWriteDrain;
+  g.write_drain_threshold = 2;
+  const std::vector<TraceRequest> trace = {
+      {0, false, addr(g, 1, 0), 0},  // warms row 1, bank busy
+      {1, true, addr(g, 2, 0), 0},   // queued write #1
+      {2, false, addr(g, 1, 1), 0},  // read: hit on the open row
+      {3, true, addr(g, 3, 0), 0},   // queued write #2 -> threshold reached
+  };
+  CommandScheduler scheduler(g);
+  const ScheduleResult result = scheduler.run(trace);
+  const std::uint64_t read_done = trace[2].cycle + result.latency_cycles[2];
+  const std::uint64_t write1_done = trace[1].cycle + result.latency_cycles[1];
+  const std::uint64_t write2_done = trace[3].cycle + result.latency_cycles[3];
+  EXPECT_LT(write1_done, read_done);
+  EXPECT_LT(write2_done, read_done);
+
+  // Control: plain FR-FCFS serves the read hit before the younger write.
+  g.scheduler_policy = SchedulerPolicy::kFrFcfs;
+  CommandScheduler control(g);
+  const ScheduleResult fr = control.run(trace);
+  EXPECT_LT(trace[2].cycle + fr.latency_cycles[2],
+            trace[3].cycle + fr.latency_cycles[3]);
+}
+
+TEST(Scheduler, WriteDrainExitsOnceWritesAreExhausted) {
+  // After the drain empties the write queue the bank must return to serving
+  // reads (the drain flag clears) — every request retires.
+  GeometryConfig g = tiny_geometry();
+  g.scheduler_policy = SchedulerPolicy::kWriteDrain;
+  g.write_drain_threshold = 1;
+  std::vector<TraceRequest> trace;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    trace.push_back({i, i % 3 == 0, addr(g, i % 4, i % 8), 0});
+  }
+  CommandScheduler scheduler(g);
+  const ScheduleResult result = scheduler.run(trace);
+  EXPECT_EQ(result.requests_retired, trace.size());
+  EXPECT_EQ(result.reads + result.writes, trace.size());
+}
+
+TEST(SchedulerPolicyNames, RoundTripAndRejection) {
+  EXPECT_STREQ(scheduler_policy_name(SchedulerPolicy::kFcfs), "fcfs");
+  EXPECT_STREQ(scheduler_policy_name(SchedulerPolicy::kFrFcfs), "fr_fcfs");
+  EXPECT_STREQ(scheduler_policy_name(SchedulerPolicy::kWriteDrain), "write_drain");
+  EXPECT_EQ(parse_scheduler_policy("FCFS"), SchedulerPolicy::kFcfs);
+  EXPECT_EQ(parse_scheduler_policy("FR_FCFS"), SchedulerPolicy::kFrFcfs);
+  EXPECT_EQ(parse_scheduler_policy("WRITE_DRAIN"), SchedulerPolicy::kWriteDrain);
+  EXPECT_THROW(parse_scheduler_policy("fr_fcfs"), InvalidArgumentError);  // case-sensitive
+  EXPECT_THROW(parse_scheduler_policy("LIFO"), InvalidArgumentError);
+}
+
+TEST(MemsysConfig, ParsesSchedulerPolicyAndDrainThreshold) {
+  const GeometryConfig config = parse_memsys_config(
+      "SCHED_POLICY WRITE_DRAIN\n"
+      "WRITE_DRAIN_THRESHOLD 4\n");
+  EXPECT_EQ(config.scheduler_policy, SchedulerPolicy::kWriteDrain);
+  EXPECT_EQ(config.write_drain_threshold, 4u);
+  EXPECT_EQ(parse_memsys_config("SCHED_POLICY FCFS\n").scheduler_policy,
+            SchedulerPolicy::kFcfs);
+  // Default stays the classic FR-FCFS.
+  EXPECT_EQ(parse_memsys_config("").scheduler_policy, SchedulerPolicy::kFrFcfs);
+  EXPECT_THROW(parse_memsys_config("SCHED_POLICY NONE\n"), InvalidArgumentError);
+  // A zero threshold is only invalid when the drain policy is selected.
+  EXPECT_THROW(parse_memsys_config("SCHED_POLICY WRITE_DRAIN\n"
+                                   "WRITE_DRAIN_THRESHOLD 0\n"),
+               InvalidArgumentError);
+  EXPECT_NO_THROW(parse_memsys_config("WRITE_DRAIN_THRESHOLD 0\n"));
+}
+
+TEST(Geometry, AcceptsFiveAndSixBitsPerCell) {
+  // The density stretch targets of the ECC explorer: 5 and 6 bits/cell are
+  // valid geometries as long as a word stays byte-aligned (8 cells work for
+  // both); 7 is past the allocator's range and must be rejected.
+  for (const std::size_t bits : {std::size_t{5}, std::size_t{6}}) {
+    GeometryConfig g = GeometryConfig::rram_isscc_2012();
+    g.bits_per_cell = bits;
+    g.cells_per_word = 8;
+    EXPECT_NO_THROW(g.validate()) << bits;
+  }
+  GeometryConfig bad = GeometryConfig::rram_isscc_2012();
+  bad.bits_per_cell = 7;
+  bad.cells_per_word = 8;
+  EXPECT_THROW(bad.validate(), InvalidArgumentError);
+}
+
 TEST(Scheduler, BanksServiceInParallelButShareTheChannelBus) {
   // Two banks on one channel, simultaneous cold reads: activation overlaps,
   // but the two tBURST transfers serialize on the shared bus — the second

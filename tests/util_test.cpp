@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 #include <sstream>
+#include <string>
 
 #include "util/ascii_plot.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/schema.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -51,6 +54,33 @@ TEST(Error, CheckMacroThrowsWithContext) {
 TEST(Error, HierarchyIsCatchableAsBase) {
   EXPECT_THROW(throw ConvergenceError("x"), Error);
   EXPECT_THROW(throw InternalError("x"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// report schema registry
+// ---------------------------------------------------------------------------
+
+// The version strings are a wire contract with CI assertions, compare_bench
+// and downstream loaders: each one is pinned verbatim. Bumping a schema means
+// minting a new tag in util/schema.hpp AND updating this test in the same
+// change — that is the point.
+TEST(Schema, VersionStringsArePinned) {
+  EXPECT_STREQ(util::kMetricsSchema, "oxmlc.metrics.v1");
+  EXPECT_STREQ(util::kLintSchema, "oxmlc.lint.v2");
+  EXPECT_STREQ(util::kRetentionSchema, "oxmlc.retention.v1");
+  EXPECT_STREQ(util::kMemsysSchema, "oxmlc.memsys.v1");
+  EXPECT_STREQ(util::kEccSchema, "oxmlc.ecc.v1");
+}
+
+TEST(Schema, TagsAreDistinctAndNamespaced) {
+  const std::set<std::string> tags = {
+      util::kMetricsSchema, util::kLintSchema, util::kRetentionSchema,
+      util::kMemsysSchema, util::kEccSchema};
+  EXPECT_EQ(tags.size(), 5u) << "two reports share a schema tag";
+  for (const std::string& tag : tags) {
+    EXPECT_EQ(tag.rfind("oxmlc.", 0), 0u) << tag;
+    EXPECT_NE(tag.find(".v"), std::string::npos) << tag << " lacks a version";
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,11 @@
 //             --seed 7 --report r.json           retention sweep (drift + verify
 //                                                comparison + scrub demo) as
 //                                                oxmlc.retention.v1 JSON
+//   oxmlc_sim --ecc --bits 4 --trials 8
+//             --seed 7 --report ecc.json          ECC + scrub + wear-leveling
+//                                                policy explorer (UBER vs
+//                                                overhead frontier) as
+//                                                oxmlc.ecc.v1 JSON
 //   oxmlc_sim --trace requests.trc               memory-system trace replay
 //             --geometry sys.memcfg              (banks/channels scheduler +
 //             --report replay.json               tiered-fidelity physics) as
@@ -36,6 +41,7 @@
 
 #include "array/write_path.hpp"
 #include "devices/sources.hpp"
+#include "ecc/explorer.hpp"
 #include "memsys/replay.hpp"
 #include "mlc/analyze/config_lint.hpp"
 #include "mlc/controller.hpp"
@@ -65,6 +71,9 @@ struct CliOptions {
   bool json = false;
   bool qlc = false;
   bool retention = false;
+  bool ecc = false;
+  bool bits_set = false;
+  bool trials_set = false;
   std::string trace_path;
   std::size_t trace_synth = 0;   // synthesize this many requests instead
   std::string trace_out;         // write the synthesized trace here
@@ -107,6 +116,10 @@ struct CliOptions {
                "  --retention         retention sweep (no netlist): drift MC over decades\n"
                "                      of time, verify-off vs relaxation-aware verify,\n"
                "                      plus an array scrub demonstration\n"
+               "  --ecc               ECC + scrub + wear-leveling policy explorer (no\n"
+               "                      netlist): sweeps the code ladder x scrub interval x\n"
+               "                      verify x rotation over the retention channel and\n"
+               "                      prints the UBER-vs-overhead frontier\n"
                "  --trace <file>      memory-system replay (no netlist): gem5-style timed\n"
                "                      read/write requests through the banks/channels\n"
                "                      scheduler with tiered-fidelity device physics\n"
@@ -115,11 +128,16 @@ struct CliOptions {
                "  --trace-out <file>  write the synthesized trace (use with --trace-synth)\n"
                "  --geometry <file>   trace mode: .memcfg geometry/timing (default: the\n"
                "                      built-in NVMain RRAM ISSCC-2012 4-ch x 4-bank shape)\n"
-               "  --threads <n>       trace mode: fidelity-tier worker threads (0 = auto)\n"
-               "  --bits <n>          QLC/retention mode: bits per cell (default 4)\n"
-               "  --trials <n>        QLC/retention mode: MC trials per level (default 50)\n"
-               "  --seed <n>          QLC/retention/trace mode: Monte-Carlo base seed\n"
+               "  --threads <n>       trace/ecc mode: worker threads (0 = auto; ecc reports\n"
+               "                      are bit-identical at any thread count)\n"
+               "  --bits <n>          QLC/retention mode: bits per cell (default 4);\n"
+               "                      ecc mode: restrict the sweep to one bits/cell value\n"
+               "                      (default: 4, 5 and 6)\n"
+               "  --trials <n>        QLC/retention mode: MC trials per level (default 50);\n"
+               "                      ecc mode: reference words per policy point (default 8)\n"
+               "  --seed <n>          QLC/retention/ecc/trace mode: Monte-Carlo base seed\n"
                "  --report <file>     retention mode: the oxmlc.retention.v1 JSON;\n"
+               "                      ecc mode: the oxmlc.ecc.v1 JSON;\n"
                "                      trace mode: the oxmlc.memsys.v1 JSON\n"
                "  --metrics <file>    export solver/MC telemetry as JSON\n";
   std::exit(2);
@@ -183,6 +201,8 @@ CliOptions parse_cli(int argc, char** argv) {
       options.qlc = true;
     } else if (arg == "--retention") {
       options.retention = true;
+    } else if (arg == "--ecc") {
+      options.ecc = true;
     } else if (arg == "--trace") {
       options.trace_path = next();
     } else if (arg == "--trace-synth") {
@@ -195,8 +215,10 @@ CliOptions parse_cli(int argc, char** argv) {
       options.threads = next_count();
     } else if (arg == "--bits") {
       options.qlc_bits = next_count();
+      options.bits_set = true;
     } else if (arg == "--trials") {
       options.qlc_trials = next_count();
+      options.trials_set = true;
     } else if (arg == "--seed") {
       options.seed = next_count();
       options.seed_set = true;
@@ -220,14 +242,15 @@ CliOptions parse_cli(int argc, char** argv) {
     usage("--trace-out requires --trace-synth");
   }
   if (options.netlist_path.empty() && !options.qlc && !options.retention &&
-      !options.lint && !trace_mode) {
+      !options.ecc && !options.lint && !trace_mode) {
     usage("no netlist file given");
   }
-  if (options.qlc || options.retention || (options.lint && options.netlist_path.empty())) {
+  if (options.qlc || options.retention || options.ecc ||
+      (options.lint && options.netlist_path.empty())) {
     if (options.qlc_bits < 1 || options.qlc_bits > 6) usage("--bits must be in 1..6");
   }
-  if (options.qlc || options.retention) {
-    if (options.qlc_trials < 1) usage("--trials must be positive");
+  if (options.qlc || options.retention || options.ecc) {
+    if (options.trials_set && options.qlc_trials < 1) usage("--trials must be positive");
   }
   return options;
 }
@@ -370,6 +393,59 @@ int run_retention(const CliOptions& options) {
       return 1;
     }
     out << report.dump(2) << "\n";
+    std::cout << "[report written: " << options.report_path << "]\n";
+  }
+  return 0;
+}
+
+// ECC + scrub + wear-leveling policy explorer: the full policy grid of
+// ecc/explorer.hpp — code ladder x scrub interval x verify x start-gap
+// rotation at each bits/cell target — reduced to the UBER-vs-overhead Pareto
+// frontier. `--bits` restricts the sweep to one bits/cell value, `--trials`
+// sets the reference words per policy point, and `--report` writes the whole
+// study as oxmlc.ecc.v1.
+int run_ecc(const CliOptions& options) {
+  ecc::EccStudyConfig config;
+  if (options.bits_set) config.bits = {options.qlc_bits};
+  if (options.trials_set) config.trials = options.qlc_trials;
+  if (options.seed_set) config.seed = options.seed;
+  config.threads = options.threads;
+
+  std::cout << "ECC policy explorer: bits/cell {";
+  for (std::size_t i = 0; i < config.bits.size(); ++i) {
+    std::cout << (i > 0 ? ", " : "") << config.bits[i];
+  }
+  std::cout << "}, " << config.trials << " words/point, seed " << config.seed << "\n";
+
+  const ecc::EccReport report = ecc::run_ecc_study(config);
+  const bool monotone = ecc::uber_monotone(report);
+
+  Table t({"bits", "code", "scrub (s)", "verify", "rotate", "overhead", "uber",
+           "usable bits/cell"});
+  for (const auto& point : report.frontier) {
+    t.add_row({std::to_string(point.bits), point.code,
+               format_si(point.scrub_period_s, "s", 3), point.verify ? "on" : "off",
+               std::to_string(point.rotate_every_writes),
+               format_scaled(point.total_overhead, 1.0, 4),
+               format_scaled(point.uber, 1.0, 6),
+               format_scaled(point.usable_bits_per_cell, 1.0, 3)});
+  }
+  t.print(std::cout);
+  std::cout << report.points.size() << " policy points, frontier of "
+            << report.frontier.size() << " choices; uber monotone in code strength: "
+            << (monotone ? "yes" : "NO") << "\n";
+  if (!monotone) {
+    std::cerr << "error: uber not monotone non-increasing along the code ladder\n";
+    return 1;
+  }
+
+  if (!options.report_path.empty()) {
+    std::ofstream out(options.report_path);
+    if (!out.good()) {
+      std::cerr << "cannot write report: " << options.report_path << "\n";
+      return 1;
+    }
+    out << ecc::to_json(report).dump(2) << "\n";
     std::cout << "[report written: " << options.report_path << "]\n";
   }
   return 0;
@@ -669,6 +745,7 @@ int main(int argc, char** argv) {
     if (!options.trace_path.empty() || options.trace_synth > 0) {
       return finish(run_trace(options));
     }
+    if (options.ecc) return finish(run_ecc(options));
     if (options.retention) return finish(run_retention(options));
     if (options.qlc) return finish(run_qlc(options));
     if (options.lint && options.netlist_path.empty()) {
